@@ -1,0 +1,87 @@
+package arbods
+
+import (
+	"arbods/internal/verify"
+)
+
+// CertTolerance is the relative tolerance for floating-point certificate
+// checks.
+const CertTolerance = verify.DefaultTol
+
+// IsDominatingSet reports the nodes left undominated by the given
+// membership vector (empty result = valid dominating set).
+func IsDominatingSet(g *Graph, inSet []bool) (undominated []int) {
+	return verify.DominatingSet(g, inSet)
+}
+
+// CheckPacking verifies the dual-packing constraint Σ_{v∈N+(u)} x_v ≤ w_u
+// for every node u. A feasible packing certifies Σx ≤ OPT (Lemma 2.1).
+func CheckPacking(g *Graph, x []float64) error {
+	return verify.PackingFeasible(g, x, CertTolerance)
+}
+
+// CheckCertificate verifies the per-run guarantee w(S) ≤ factor·Σx.
+func CheckCertificate(g *Graph, inSet []bool, x []float64, factor float64) error {
+	return verify.Certificate(g, inSet, x, factor, CertTolerance)
+}
+
+// CheckFractionalVertexCover verifies y_u + y_v ≥ 1 for every edge — the
+// feasibility side of the Theorem 1.4 reduction.
+func CheckFractionalVertexCover(g *Graph, y []float64) error {
+	return verify.FractionalVertexCover(g, y, CertTolerance)
+}
+
+// MembershipOf extracts the dominating set membership vector from a report.
+func MembershipOf(rep *Report) []bool {
+	set := make([]bool, len(rep.Result.Outputs))
+	for v, out := range rep.Result.Outputs {
+		set[v] = out.InDS
+	}
+	return set
+}
+
+// PackingOf extracts the certified packing vector from a report.
+func PackingOf(rep *Report) []float64 {
+	x := make([]float64, len(rep.Result.Outputs))
+	for v, out := range rep.Result.Outputs {
+		x[v] = out.Packing
+	}
+	return x
+}
+
+// Certify re-verifies a report end to end: the set dominates, the packing
+// is feasible, and (for deterministic algorithms) w(DS) ≤ Factor·Σx. It is
+// what a downstream user calls to distrust-but-verify any run.
+func Certify(g *Graph, rep *Report) error {
+	set := MembershipOf(rep)
+	if und := verify.DominatingSet(g, set); len(und) > 0 {
+		return &CertError{Stage: "domination", Detail: und}
+	}
+	x := PackingOf(rep)
+	if err := verify.PackingFeasible(g, x, CertTolerance); err != nil {
+		return &CertError{Stage: "packing", Err: err}
+	}
+	if rep.Factor > 0 {
+		if err := verify.Certificate(g, set, x, rep.Factor, CertTolerance); err != nil {
+			return &CertError{Stage: "ratio", Err: err}
+		}
+	}
+	return nil
+}
+
+// CertError reports which certification stage failed.
+type CertError struct {
+	Stage  string
+	Detail []int
+	Err    error
+}
+
+func (e *CertError) Error() string {
+	if e.Err != nil {
+		return "arbods: certification failed at " + e.Stage + ": " + e.Err.Error()
+	}
+	return "arbods: certification failed at " + e.Stage
+}
+
+// Unwrap supports errors.Is/As chains.
+func (e *CertError) Unwrap() error { return e.Err }

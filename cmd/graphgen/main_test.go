@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arbods"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.graph")
+	if err := run([]string{"-gen", "forest:n=50,k=2,seed=3/uniform:max=20", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := arbods.DecodeGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 {
+		t.Fatalf("decoded n=%d", g.N())
+	}
+	if g.Unweighted() {
+		t.Fatal("weights were not applied")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -gen accepted")
+	}
+	if err := run([]string{"-gen", "martian:n=1"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := run([]string{"-gen", "path:n=5", "-out", "/no/such/dir/x.graph"}); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

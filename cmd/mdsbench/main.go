@@ -1,0 +1,89 @@
+// Command mdsbench regenerates every experiment table of the paper
+// reproduction (E1…E10, see DESIGN.md §4) and prints them as markdown or
+// CSV. EXPERIMENTS.md is produced from this tool's output:
+//
+//	mdsbench -scale full -seed 1 > experiments.md
+//	mdsbench -only E1,E6 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"arbods/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mdsbench", flag.ContinueOnError)
+	var (
+		scale  = fs.String("scale", "small", "experiment scale: small or full")
+		seed   = fs.Uint64("seed", 1, "base random seed")
+		only   = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
+		format = fs.String("format", "md", "output format: md or csv")
+		reps   = fs.Int("reps", 0, "repetitions for randomized algorithms (0 = scale default)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	cfg := bench.Config{Seed: *seed, Reps: *reps}
+	switch *scale {
+	case "small":
+		cfg.Scale = bench.Small
+	case "full":
+		cfg.Scale = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want small or full)", *scale)
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range bench.All() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ran++
+		for _, t := range tables {
+			switch *format {
+			case "md":
+				fmt.Println(t.Markdown())
+			case "csv":
+				fmt.Printf("# %s — %s (%s)\n%s\n", t.ID, t.Title, t.PaperRef, t.CSV())
+			default:
+				return fmt.Errorf("unknown format %q (want md or csv)", *format)
+			}
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -only=%s", *only)
+	}
+	fmt.Fprintf(os.Stderr, "mdsbench: %d experiment(s), scale=%s, seed=%d, %s\n",
+		ran, *scale, *seed, time.Since(start).Round(time.Millisecond))
+	return nil
+}

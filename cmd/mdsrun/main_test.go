@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// silenceStdout redirects os.Stdout to /dev/null for the test's duration.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	silenceStdout(t)
+	algos := []string{
+		"thm3.1", "thm1.1", "thm1.2", "thm1.3",
+		"remark4.4", "remark4.5", "lw", "lrg", "greedy", "exact",
+	}
+	for _, a := range algos {
+		t.Run(a, func(t *testing.T) {
+			if err := run([]string{"-algo", a, "-gen", "forest:n=40,k=2", "-alpha", "2"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := run([]string{"-algo", "tree", "-gen", "tree:n=50", "-print-ds"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWeighted(t *testing.T) {
+	silenceStdout(t)
+	if err := run([]string{"-algo", "thm1.1", "-gen", "grid:r=5,c=5/uniform:max=30", "-eps", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	content := "arbods-graph v1\nn 3 m 2\ne 0 1\ne 1 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "thm1.1", "-graph", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silenceStdout(t)
+	cases := [][]string{
+		{},                                     // no graph source
+		{"-gen", "forest:n=10", "-graph", "x"}, // both sources
+		{"-algo", "nope", "-gen", "path:n=5"},  // unknown algorithm
+		{"-gen", "martian:n=5"},                // bad spec
+		{"-algo", "tree", "-gen", "cycle:n=5"}, // tree algo on a cycle
+		{"-graph", "/does/not/exist"},          // missing file
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

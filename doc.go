@@ -1,0 +1,47 @@
+// Package arbods implements the distributed minimum (weighted) dominating
+// set algorithms of Dory, Ghaffari, and Ilchi, "Near-Optimal Distributed
+// Dominating Set in Bounded Arboricity Graphs" (PODC 2022,
+// arXiv:2206.05174), together with the substrates needed to run, verify,
+// and benchmark them: a CONGEST/LOCAL round simulator with per-edge
+// bandwidth accounting, graph generators for every workload family the
+// paper motivates, arboricity machinery, prior-work baselines, and the
+// Section 5 lower-bound construction.
+//
+// # Quick start
+//
+//	w := arbods.ForestUnion(1000, 3, 42) // α ≤ 3 by construction
+//	rep, err := arbods.WeightedDeterministic(w.G, w.ArboricityBound, 0.2,
+//		arbods.WithSeed(1))
+//	if err != nil { ... }
+//	fmt.Println(rep.DSWeight, rep.Rounds(), rep.CertifiedRatio())
+//
+// Every run returns a Report carrying a dual-packing certificate
+// (Lemma 2.1 of the paper): CertifiedRatio() = w(DS)/Σx is an exactly
+// checkable upper bound on the true approximation ratio, because Σx ≤ OPT.
+//
+// # Algorithms
+//
+//   - UnweightedDeterministic — Theorem 3.1, (2α+1)(1+ε)-approximation in
+//     O(log(Δ/α)/ε) CONGEST rounds;
+//   - WeightedDeterministic — Theorem 1.1, the weighted version (the first
+//     distributed algorithm for weighted MDS on bounded arboricity graphs);
+//   - WeightedRandomized — Theorem 1.2, expected (α+O(α/t))-approximation
+//     in O(t·log Δ) rounds;
+//   - GeneralGraphs — Theorem 1.3, expected O(kΔ^{2/k})-approximation in
+//     O(k²) rounds on arbitrary graphs;
+//   - PartialDominatingSet — Lemma 4.1 by itself;
+//   - UnknownDelta / UnknownAlpha — the Remark 4.4 / 4.5 variants;
+//   - TreeThreeApprox — Observation A.1, one-round 3-approximation on
+//     forests;
+//   - baselines: GreedyCentralized, ExactSmall/ExactForest,
+//     LWBucketDeterministic, LRGRandomized.
+//
+// # Model
+//
+// Algorithms execute on a simulated synchronous network whose topology is
+// the input graph (the CONGEST model of the paper's Section 2). The
+// simulator enforces the O(log n)-bit message bound — every message type
+// accounts its size in bits and Strict mode fails the run on a violation —
+// and reports rounds, message and bit counts. Runs are deterministic given
+// WithSeed, independent of WithWorkers.
+package arbods

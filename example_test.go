@@ -1,0 +1,91 @@
+package arbods_test
+
+import (
+	"fmt"
+
+	"arbods"
+)
+
+// ExampleWeightedDeterministic runs Theorem 1.1 on a weighted
+// bounded-arboricity workload and verifies the certificate.
+func ExampleWeightedDeterministic() {
+	w := arbods.ForestUnion(500, 2, 7)     // arboricity ≤ 2
+	g := arbods.UniformWeights(w.G, 50, 3) // weighted instance
+	rep, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.25,
+		arbods.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dominating:", rep.AllDominated)
+	fmt.Println("within guarantee:", rep.CertifiedRatio() <= rep.Factor)
+	fmt.Println("certified:", arbods.Certify(g, rep) == nil)
+	// Output:
+	// dominating: true
+	// within guarantee: true
+	// certified: true
+}
+
+// ExampleTreeThreeApprox shows the one-round Appendix A algorithm against
+// the exact forest optimum.
+func ExampleTreeThreeApprox() {
+	w := arbods.Path(9) // 0-1-2-…-8
+	rep, err := arbods.TreeThreeApprox(w.G)
+	if err != nil {
+		panic(err)
+	}
+	opt, err := arbods.ExactForest(w.G)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("3-approx holds:", rep.DSWeight <= 3*opt.Weight)
+	fmt.Println("OPT:", opt.Weight)
+	// Output:
+	// 3-approx holds: true
+	// OPT: 3
+}
+
+// ExampleBuildLowerBound walks the Theorem 1.4 pipeline: construction,
+// solve, reduction, feasibility.
+func ExampleBuildLowerBound() {
+	base, err := arbods.LowerBoundGadget(8, 3, 4, 3)
+	if err != nil {
+		panic(err)
+	}
+	c, err := arbods.BuildLowerBound(base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("arboricity-2 instance:", c.H.N() > base.N())
+	rep, err := arbods.UnweightedDeterministic(c.H, 2, 0.2, arbods.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	y := c.ExtractFractionalVC(arbods.MembershipOf(rep))
+	fmt.Println("cover feasible:", arbods.CheckFractionalVertexCover(base, y) == nil)
+	// Output:
+	// arboricity-2 instance: true
+	// cover feasible: true
+}
+
+// ExamplePartialDominatingSet exposes Lemma 4.1's two properties directly.
+func ExamplePartialDominatingSet() {
+	w := arbods.ForestUnion(200, 2, 9)
+	alpha, eps := 2, 0.25
+	lambda := 0.8 / (float64(alpha+1) * (1 + eps))
+	rep, err := arbods.PartialDominatingSet(w.G, alpha, eps, lambda, arbods.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	// Property (b): undominated nodes carry large packing values.
+	ok := true
+	for _, out := range rep.Result.Outputs {
+		if !out.Dominated && out.Packing <= lambda*float64(out.Tau)*(1-1e-12) {
+			ok = false
+		}
+	}
+	fmt.Println("property (b):", ok)
+	fmt.Println("packing feasible:", arbods.CheckPacking(w.G, arbods.PackingOf(rep)) == nil)
+	// Output:
+	// property (b): true
+	// packing feasible: true
+}

@@ -1,0 +1,271 @@
+// Package arbor implements the centralized arboricity machinery the paper
+// leans on: degeneracy (k-core) peeling, low out-degree orientations
+// (Observation 3.5: a graph with arboricity α can be oriented with
+// out-degree ≤ α), Nash–Williams density bounds, and pseudoforest
+// decompositions (footnote 2: the algorithms work for any graph orientable
+// with out-degree ≤ α, i.e. graphs decomposable into α pseudoforests).
+//
+// The paper uses the orientation only in the analysis; this package exists
+// so that the test suite and the benchmark harness can certify arboricity
+// bounds of generated workloads and verify the analysis-side invariants
+// (e.g. "a node is an in-neighbor of at most α nodes").
+package arbor
+
+import (
+	"arbods/internal/graph"
+)
+
+// Degeneracy computes the degeneracy d of g and a peeling order: order[i] is
+// the i-th node removed by repeatedly deleting a minimum-degree node. Every
+// node has at most d neighbors that appear later in the order.
+//
+// Degeneracy brackets arboricity: α ≤ d ≤ 2α − 1, so d is the standard
+// certified upper bound for α when the generator does not already know one.
+// Runs in O(n + m) time via bucket peeling.
+func Degeneracy(g *graph.Graph) (order []int, degeneracy int) {
+	n := g.N()
+	order = make([]int, 0, n)
+	if n == 0 {
+		return order, 0
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue with lazy deletion: buckets[d] holds candidate nodes
+	// whose degree was d when appended; entries are validated at pop time
+	// (degree mismatch or already-removed means stale). Each degree
+	// decrement appends one entry, so total work is O(n + m).
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	cur := 0
+	for len(order) < n {
+		for len(buckets[cur]) == 0 {
+			cur++
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue
+		}
+		removed[v] = true
+		if deg[v] > degeneracy {
+			degeneracy = deg[v]
+		}
+		order = append(order, v)
+		for _, u32 := range g.Neighbors(v) {
+			u := int(u32)
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			buckets[deg[u]] = append(buckets[deg[u]], u)
+			if deg[u] < cur {
+				cur = deg[u]
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// Orientation is an assignment of a direction to every edge of a graph.
+type Orientation struct {
+	out [][]int32
+}
+
+// OrientByOrder orients every edge of g from the endpoint that appears
+// earlier in order to the one that appears later. With a degeneracy peeling
+// order this yields an acyclic orientation with out-degree ≤ degeneracy.
+func OrientByOrder(g *graph.Graph, order []int) *Orientation {
+	n := g.N()
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	out := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if pos[v] < pos[int(u)] {
+				out[v] = append(out[v], u)
+			}
+		}
+	}
+	return &Orientation{out: out}
+}
+
+// GreedyOrientation returns the degeneracy-order orientation of g, which has
+// out-degree ≤ degeneracy(g) ≤ 2α(g) − 1.
+func GreedyOrientation(g *graph.Graph) *Orientation {
+	order, _ := Degeneracy(g)
+	return OrientByOrder(g, order)
+}
+
+// Out returns the out-neighbors of v. The slice is a read-only view.
+func (o *Orientation) Out(v int) []int32 { return o.out[v] }
+
+// OutDegree returns the out-degree of v.
+func (o *Orientation) OutDegree(v int) int { return len(o.out[v]) }
+
+// MaxOutDegree returns the maximum out-degree over all nodes.
+func (o *Orientation) MaxOutDegree() int {
+	max := 0
+	for _, nb := range o.out {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// InDegrees returns the in-degree of every node.
+func (o *Orientation) InDegrees() []int {
+	in := make([]int, len(o.out))
+	for _, nb := range o.out {
+		for _, u := range nb {
+			in[u]++
+		}
+	}
+	return in
+}
+
+// Valid reports whether o orients every edge of g exactly once and nothing
+// else (i.e. it is a true orientation of g).
+func (o *Orientation) Valid(g *graph.Graph) bool {
+	if len(o.out) != g.N() {
+		return false
+	}
+	directed := 0
+	for v := range o.out {
+		for _, u := range o.out[v] {
+			if !g.HasEdge(v, int(u)) {
+				return false
+			}
+			directed++
+		}
+	}
+	if directed != g.M() {
+		return false
+	}
+	// Every edge directed exactly once: counts match and each directed edge
+	// is a real edge, so it remains to rule out {u,v} oriented both ways.
+	seen := make(map[[2]int32]bool, directed)
+	for v := range o.out {
+		for _, u := range o.out[v] {
+			a, b := int32(v), u
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int32{a, b}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+	}
+	return true
+}
+
+// Bounds returns certified lower and upper bounds for the arboricity of g:
+//
+//	lo = max(⌈density of the densest peeling suffix⌉, 1 if m ≥ 1)
+//	hi = degeneracy(g)  (with hi ≥ lo enforced)
+//
+// The lower bound instantiates Nash–Williams: any subgraph S with n_S ≥ 2
+// forces α ≥ ⌈m_S/(n_S−1)⌉; the suffixes of the degeneracy peeling order
+// include the densest k-cores, which is where that bound is strongest.
+func Bounds(g *graph.Graph) (lo, hi int) {
+	order, degen := Degeneracy(g)
+	hi = degen
+	if g.M() == 0 {
+		return 0, 0
+	}
+	lo = 1
+	// Walk the peeling order backwards, maintaining the induced suffix
+	// subgraph's node and edge counts.
+	n := g.N()
+	inSuffix := make([]bool, n)
+	nodes, edges := 0, 0
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		inSuffix[v] = true
+		nodes++
+		for _, u := range g.Neighbors(v) {
+			if inSuffix[u] {
+				edges++
+			}
+		}
+		if nodes >= 2 {
+			d := (edges + nodes - 2) / (nodes - 1) // ⌈edges/(nodes-1)⌉
+			if d > lo {
+				lo = d
+			}
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Pseudoforests partitions the edges of g into MaxOutDegree(o) pseudoforests
+// using the orientation o: the i-th pseudoforest takes the i-th out-edge of
+// every node. Each part has maximum out-degree 1 under o, hence every
+// connected component contains at most one cycle (footnote 2 of the paper).
+func Pseudoforests(g *graph.Graph, o *Orientation) [][][2]int {
+	k := o.MaxOutDegree()
+	parts := make([][][2]int, k)
+	for v := range o.out {
+		for i, u := range o.out[v] {
+			parts[i] = append(parts[i], [2]int{v, int(u)})
+		}
+	}
+	return parts
+}
+
+// IsPseudoforest reports whether the given edge set on n nodes is a
+// pseudoforest: every connected component has at most as many edges as
+// nodes (≤ one cycle per component).
+func IsPseudoforest(n int, edges [][2]int) bool {
+	parent := make([]int, n)
+	compEdges := make([]int, n)
+	compNodes := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		compNodes[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			return false
+		}
+		a, b := find(e[0]), find(e[1])
+		if a == b {
+			compEdges[a]++
+		} else {
+			parent[a] = b
+			compEdges[b] += compEdges[a] + 1
+			compNodes[b] += compNodes[a]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if find(v) == v && compEdges[v] > compNodes[v] {
+			return false
+		}
+	}
+	return true
+}

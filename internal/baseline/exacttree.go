@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"arbods/internal/graph"
+)
+
+const infWeight = int64(math.MaxInt64 / 4)
+
+// errNotForest is returned by ExactForest on graphs with cycles.
+var errNotForest = errors.New("baseline: ExactForest requires a forest")
+
+// ExactForest computes a minimum weight dominating set of a forest in
+// linear time with the classic three-state tree DP:
+//
+//	dp[v][inSet]    — v is in the set (children may be in any state),
+//	dp[v][covered]  — v not in the set, dominated by a child,
+//	dp[v][exposed]  — v not in the set, not yet dominated (its parent must
+//	                  take it).
+//
+// Unlike the branch-and-bound solver, it has no size limit, which lets the
+// harness ground-truth tree experiments (Observation A.1) at any scale.
+func ExactForest(g *graph.Graph) (GreedyResult, error) {
+	if !g.IsForest() {
+		return GreedyResult{}, errNotForest
+	}
+	n := g.N()
+	const (
+		inSet   = 0
+		covered = 1
+		exposed = 2
+	)
+	dp := make([][3]int64, n)
+	parent := make([]int, n)
+	order := make([]int, 0, n) // post-order
+	visited := make([]bool, n)
+
+	var res GreedyResult
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		// Iterative DFS to build a post-order of this component.
+		start := len(order)
+		stack := []int{root}
+		parent[root] = -1
+		visited[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					parent[u] = v
+					stack = append(stack, int(u))
+				}
+			}
+		}
+		comp := order[start:]
+		// Children appear after parents in `comp` (pre-order); walk
+		// backwards for the bottom-up DP.
+		for i := len(comp) - 1; i >= 0; i-- {
+			v := comp[i]
+			dp[v][inSet] = g.Weight(v)
+			dp[v][covered] = 0
+			dp[v][exposed] = 0
+			bestSwitch := infWeight // cheapest upgrade of one child to inSet
+			hasChild := false
+			for _, u32 := range g.Neighbors(v) {
+				u := int(u32)
+				if u == parent[v] {
+					continue
+				}
+				hasChild = true
+				anyState := min3(dp[u][inSet], dp[u][covered], dp[u][exposed])
+				resolved := min2(dp[u][inSet], dp[u][covered])
+				dp[v][inSet] += anyState
+				dp[v][exposed] += resolved
+				if up := dp[u][inSet] - resolved; up < bestSwitch {
+					bestSwitch = up
+				}
+			}
+			if !hasChild {
+				dp[v][covered] = infWeight
+			} else {
+				dp[v][covered] = dp[v][exposed] + bestSwitch
+				if dp[v][covered] > infWeight {
+					dp[v][covered] = infWeight
+				}
+			}
+		}
+		// Reconstruct: assign states top-down.
+		state := make(map[int]int, len(comp))
+		if dp[root][inSet] <= dp[root][covered] {
+			state[root] = inSet
+		} else {
+			state[root] = covered
+		}
+		for _, v := range comp {
+			sv := state[v]
+			if sv == inSet {
+				res.DS = append(res.DS, v)
+				res.Weight += g.Weight(v)
+			}
+			// Decide children. A node in state `covered` needs at least one
+			// child in the set; if no child's unforced argmin is already
+			// inSet, force the cheapest upgrade (the bestSwitch of the DP).
+			force := -1
+			if sv == covered {
+				needForce := true
+				bestChild, bestUp := -1, infWeight
+				for _, u32 := range g.Neighbors(v) {
+					u := int(u32)
+					if u == parent[v] {
+						continue
+					}
+					if argmin2(dp[u][inSet], dp[u][covered]) == inSet {
+						needForce = false
+						break
+					}
+					if up := dp[u][inSet] - min2(dp[u][inSet], dp[u][covered]); up < bestUp {
+						bestUp, bestChild = up, u
+					}
+				}
+				if needForce {
+					force = bestChild
+				}
+			}
+			for _, u32 := range g.Neighbors(v) {
+				u := int(u32)
+				if u == parent[v] {
+					continue
+				}
+				var su int
+				switch {
+				case sv == inSet:
+					su = argmin3(dp[u][inSet], dp[u][covered], dp[u][exposed])
+				case u == force:
+					su = inSet
+				default:
+					su = argmin2(dp[u][inSet], dp[u][covered])
+				}
+				state[u] = su
+			}
+		}
+	}
+	sortInts(res.DS)
+	return res, nil
+}
+
+func min2(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int64) int64 { return min2(min2(a, b), c) }
+
+func argmin2(a, b int64) int {
+	if a <= b {
+		return 0
+	}
+	return 1
+}
+
+func argmin3(a, b, c int64) int {
+	if a <= b && a <= c {
+		return 0
+	}
+	if b <= c {
+		return 1
+	}
+	return 2
+}

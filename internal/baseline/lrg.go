@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"arbods/internal/congest"
+	"arbods/internal/graph"
+	"arbods/internal/mds"
+)
+
+// maxMsg relays the largest rounded span seen in the sender's closed
+// neighborhood (distance-2 aggregation for LRG candidacy).
+type maxMsg struct {
+	dhat int32
+}
+
+func (m maxMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.dhat)) }
+
+type candMsg struct{}
+
+func (candMsg) Bits() int { return congest.MsgTagBits }
+
+// supportMsg carries an uncovered node's support: the number of candidates
+// able to cover it.
+type supportMsg struct {
+	s int32
+}
+
+func (m supportMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.s)) }
+
+// lrgProc implements the local randomized greedy (LRG) scheme of
+// Jia–Rajaraman–Suel (DISC'01), the classic randomized distributed
+// dominating set baseline with an O(log Δ) expected approximation:
+//
+//	repeat until covered:
+//	  1. every node computes its span d(v) and the power-of-two rounding d̂;
+//	  2. v is a candidate if d̂(v) is maximum within distance 2;
+//	  3. every uncovered node u reports its support s(u) = #candidates in N+(u);
+//	  4. every candidate joins with probability 1/median{s(u) : u uncovered ∈ N+(v)}.
+//
+// Each iteration costs 5 rounds (status, max-relay, candidacy, support,
+// join); coverage updates ride on the next status round.
+type lrgProc struct {
+	ni congest.NodeInfo
+
+	inDS    bool
+	covered bool
+	nbrCov  []bool
+
+	span      int
+	dhat      int32
+	m1        int32 // max d̂ within distance 1
+	candidate bool
+	selfSup   int32
+	supports  []int32
+
+	statusSpan []int32 // this-iteration neighbor spans (status round)
+
+	st int // 0=status 1=max-relay 2=candidacy 3=support 4=join
+}
+
+var _ congest.Proc[mds.Output] = (*lrgProc)(nil)
+
+func (p *lrgProc) idx(id int) int {
+	nb := p.ni.Neighbors
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
+	return i
+}
+
+func (p *lrgProc) computeSpan() int {
+	s := 0
+	if !p.covered {
+		s = 1
+	}
+	for _, c := range p.nbrCov {
+		if !c {
+			s++
+		}
+	}
+	return s
+}
+
+func roundPow2(d int) int32 {
+	if d <= 0 {
+		return 0
+	}
+	r := int32(1)
+	for int(r)*2 <= d {
+		r *= 2
+	}
+	return r
+}
+
+func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	switch p.st {
+	case 0: // status: absorb joins from the previous iteration, report span
+		for _, m := range in {
+			if _, ok := m.Msg.(joinMsg); ok {
+				p.nbrCov[p.idx(m.From)] = true
+				p.covered = true
+			}
+		}
+		p.span = p.computeSpan()
+		p.dhat = roundPow2(p.span)
+		s.Broadcast(spanMsg{covered: p.covered, span: int32(p.span)})
+		p.st = 1
+		return false
+
+	case 1: // max-relay: exit check, then relay max d̂ within distance 1
+		for i := range p.statusSpan {
+			p.statusSpan[i] = 0 // silent neighbors have terminated with span 0
+		}
+		for _, m := range in {
+			if sm, ok := m.Msg.(spanMsg); ok {
+				i := p.idx(m.From)
+				p.statusSpan[i] = sm.span
+				if sm.covered {
+					p.nbrCov[i] = true
+				}
+			}
+		}
+		if p.span == 0 {
+			allZero := true
+			for _, sp := range p.statusSpan {
+				if sp != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				// Nothing uncovered within distance 2: this node can never
+				// be a useful candidate again.
+				return true
+			}
+		}
+		p.m1 = p.dhat
+		for _, sp := range p.statusSpan {
+			if d := roundPow2(int(sp)); d > p.m1 {
+				p.m1 = d
+			}
+		}
+		s.Broadcast(maxMsg{dhat: p.m1})
+		p.st = 2
+		return false
+
+	case 2: // candidacy: d̂ maximal within distance 2
+		m2 := p.m1
+		for _, m := range in {
+			if mm, ok := m.Msg.(maxMsg); ok && mm.dhat > m2 {
+				m2 = mm.dhat
+			}
+		}
+		p.candidate = p.span > 0 && p.dhat == m2
+		if p.candidate {
+			s.Broadcast(candMsg{})
+		}
+		p.st = 3
+		return false
+
+	case 3: // support: uncovered nodes count candidate dominators
+		sup := int32(0)
+		if p.candidate {
+			sup = 1
+		}
+		for _, m := range in {
+			if _, ok := m.Msg.(candMsg); ok {
+				sup++
+			}
+		}
+		p.selfSup = sup
+		if !p.covered && sup > 0 {
+			s.Broadcast(supportMsg{s: sup})
+		}
+		p.st = 4
+		return false
+
+	default: // join: candidates sample with probability 1/median(support)
+		p.supports = p.supports[:0]
+		for _, m := range in {
+			if sm, ok := m.Msg.(supportMsg); ok {
+				p.supports = append(p.supports, sm.s)
+			}
+		}
+		if !p.covered && p.selfSup > 0 {
+			p.supports = append(p.supports, p.selfSup)
+		}
+		if p.candidate && len(p.supports) > 0 {
+			sort.Slice(p.supports, func(i, j int) bool { return p.supports[i] < p.supports[j] })
+			med := p.supports[len(p.supports)/2]
+			if med < 1 {
+				med = 1
+			}
+			if p.ni.Rand.Bernoulli(1 / float64(med)) {
+				p.inDS = true
+				p.covered = true
+				s.Broadcast(joinMsg{})
+			}
+		}
+		p.st = 0
+		return false
+	}
+}
+
+func (p *lrgProc) Output() mds.Output {
+	return mds.Output{InDS: p.inDS, InExtension: p.inDS, Dominated: p.covered}
+}
+
+// LRGRandomized runs the LRG baseline. Unweighted graphs only.
+func LRGRandomized(g *graph.Graph, opts ...congest.Option) (*mds.Report, error) {
+	if !g.Unweighted() {
+		return nil, fmt.Errorf("baseline: LRGRandomized requires unit weights")
+	}
+	factory := func(ni congest.NodeInfo) congest.Proc[mds.Output] {
+		return &lrgProc{
+			ni:         ni,
+			nbrCov:     make([]bool, ni.Degree()),
+			statusSpan: make([]int32, ni.Degree()),
+		}
+	}
+	res, err := congest.Run(g, factory, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return mds.NewReport("lrg-randomized", res, g), nil
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"arbods/internal/graph"
+)
+
+// SunResult is the outcome of the Sun21-style solver: the set plus the
+// integer dual packing it grew, which certifies Σx ≤ OPT (Lemma 2.1).
+type SunResult struct {
+	DS      []int
+	Weight  int64
+	Packing []int64
+}
+
+// Sun implements a Sun21-style centralized primal–dual algorithm with
+// reverse delete, the comparison point the paper discusses at length in
+// §1.3: grow a dual packing node by node until every node is dominated by
+// some tight node, then walk the tight set in reverse insertion order and
+// drop every node whose removal keeps the set dominating.
+//
+// The paper's point about this algorithm is structural: the reverse-delete
+// pass is inherently sequential, which is why it does not translate to
+// CONGEST — here it serves as the centralized quality yardstick. (Sun's
+// analysis gives (α+1) for his specific processing order; this
+// implementation follows the scheme, not his exact order, so tables report
+// its measured quality and its own packing certificate rather than an
+// asserted factor.)
+//
+// All arithmetic is exact: duals are integers because every raise is a
+// minimum of integer slacks.
+func Sun(g *graph.Graph) SunResult {
+	n := g.N()
+	res := SunResult{Packing: make([]int64, n)}
+	bigX := make([]int64, n)     // X_u = Σ_{v∈N+(u)} x_v
+	inS := make([]bool, n)       // tight nodes added to S
+	dominated := make([]bool, n) // dominated by S
+	order := make([]int, 0, n)   // insertion order into S
+
+	// Phase 1: raise duals of undominated nodes in ID order.
+	for v := 0; v < n; v++ {
+		if dominated[v] {
+			continue
+		}
+		// δ = min slack over the closed neighborhood.
+		delta := g.Weight(v) - bigX[v]
+		for _, u := range g.Neighbors(v) {
+			if s := g.Weight(int(u)) - bigX[int(u)]; s < delta {
+				delta = s
+			}
+		}
+		if delta > 0 {
+			res.Packing[v] += delta
+			bigX[v] += delta
+			for _, u := range g.Neighbors(v) {
+				bigX[u] += delta
+			}
+		}
+		// Every newly tight node in N+(v) joins S; at least one exists.
+		join := func(u int) {
+			if !inS[u] && bigX[u] == g.Weight(u) {
+				inS[u] = true
+				order = append(order, u)
+				dominated[u] = true
+				for _, w := range g.Neighbors(u) {
+					dominated[w] = true
+				}
+			}
+		}
+		join(v)
+		for _, u := range g.Neighbors(v) {
+			join(int(u))
+		}
+	}
+
+	// Phase 2: reverse delete. cover[w] counts dominators of w in S.
+	cover := make([]int, n)
+	for u := 0; u < n; u++ {
+		if !inS[u] {
+			continue
+		}
+		cover[u]++
+		for _, w := range g.Neighbors(u) {
+			cover[w]++
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		removable := cover[u] >= 2
+		if removable {
+			for _, w := range g.Neighbors(u) {
+				if cover[w] < 2 {
+					removable = false
+					break
+				}
+			}
+		}
+		if !removable {
+			continue
+		}
+		inS[u] = false
+		cover[u]--
+		for _, w := range g.Neighbors(u) {
+			cover[w]--
+		}
+	}
+
+	for u := 0; u < n; u++ {
+		if inS[u] {
+			res.DS = append(res.DS, u)
+			res.Weight += g.Weight(u)
+		}
+	}
+	return res
+}

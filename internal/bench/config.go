@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scale selects the experiment sizes.
+type Scale int
+
+const (
+	// Small keeps every experiment fast enough for CI and `go test`.
+	Small Scale = iota + 1
+	// Full runs paper-scale instances (seconds to a few minutes in total).
+	Full
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed is the base seed; repetitions derive seeds from it.
+	Seed uint64
+	// Scale selects Small or Full sizes.
+	Scale Scale
+	// Reps overrides the number of repetitions for randomized algorithms
+	// (0 = scale default: 3 for Small, 5 for Full).
+	Reps int
+}
+
+func (c Config) pick(small, full int) int {
+	if c.Scale == Full {
+		return full
+	}
+	return small
+}
+
+func (c Config) reps() int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Scale == Full {
+		return 5
+	}
+	return 3
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Config) ([]*Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "prior-work comparison (§1.1)", E1Comparison},
+		{"E2", "rounds vs Δ (Theorem 1.1)", E2RoundsVsDelta},
+		{"E3", "approximation vs ε and α (Theorem 1.1)", E3ApproxVsEpsilon},
+		{"E4", "time/approximation trade-off (Theorem 1.2)", E4TradeoffT},
+		{"E5", "general graphs, k sweep (Theorem 1.3)", E5GeneralK},
+		{"E6", "lower-bound construction and reduction (Figure 1, Theorem 1.4)", E6LowerBound},
+		{"E7", "trees (Observation A.1)", E7Trees},
+		{"E8", "unknown parameters (Remarks 4.4, 4.5)", E8UnknownParams},
+		{"E9", "design ablations (DESIGN.md)", E9Ablations},
+		{"E10", "weighted instances (Theorem 1.1)", E10Weighted},
+	}
+}
+
+// RunAll executes every experiment and returns the tables in order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var tables []*Table
+	for _, e := range All() {
+		ts, err := e.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		tables = append(tables, ts...)
+	}
+	return tables, nil
+}
+
+// fmtF formats a float compactly for table cells.
+func fmtF(x float64) string {
+	switch {
+	case math.IsInf(x, 1):
+		return "∞"
+	case math.IsNaN(x):
+		return "NaN"
+	case x == math.Trunc(x) && math.Abs(x) < 1e6:
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// fmtI formats an int.
+func fmtI(x int) string { return fmt.Sprintf("%d", x) }
+
+// fmtI64 formats an int64.
+func fmtI64(x int64) string { return fmt.Sprintf("%d", x) }
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

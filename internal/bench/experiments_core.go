@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"arbods/internal/baseline"
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+	"arbods/internal/mds"
+	"arbods/internal/verify"
+)
+
+// inSetOf extracts the membership vector of a report.
+func inSetOf(rep *mds.Report) []bool {
+	set := make([]bool, len(rep.Result.Outputs))
+	for v, out := range rep.Result.Outputs {
+		set[v] = out.InDS
+	}
+	return set
+}
+
+// exactRatio computes w(DS)/OPT when the instance is small enough, else NaN.
+func exactRatio(g *graph.Graph, dsWeight int64) float64 {
+	if g.N() > baseline.ExactLimit {
+		return math.NaN()
+	}
+	opt, err := baseline.Exact(g)
+	if err != nil || opt.Weight == 0 {
+		return math.NaN()
+	}
+	return float64(dsWeight) / float64(opt.Weight)
+}
+
+// E1Comparison regenerates the §1.1 comparison of distributed MDS
+// algorithms on bounded arboricity graphs: one row per algorithm with its
+// paper guarantee and, for the algorithms implemented here, measured rounds
+// and quality on a common workload (unweighted union of 3 forests). MSW21
+// and BU17+KMW06 appear with analytic guarantees only (DESIGN.md §5.4).
+func E1Comparison(cfg Config) ([]*Table, error) {
+	const alpha = 3
+	n := cfg.pick(400, 4000)
+	big := gen.ForestUnion(n, alpha, cfg.Seed)
+	small := gen.ForestUnion(40, alpha, cfg.Seed+1)
+
+	t := &Table{
+		ID:       "E1",
+		Title:    fmt.Sprintf("distributed MDS on %s (α=%d, Δ=%d)", big.Name, alpha, big.G.MaxDegree()),
+		PaperRef: "§1/§1.1 comparison of prior work",
+		Columns: []string{
+			"algorithm", "paper approx", "paper rounds",
+			"rounds", "|DS|", "certified ratio", "ratio vs OPT (n=40)",
+		},
+		Notes: []string{
+			"certified ratio = w(DS)/Σx using the run's own dual packing (Lemma 2.1): an exact upper bound on the true ratio.",
+			"LRG (Jia–Rajaraman–Suel) stands in for the randomized O(α²) algorithm of LW10; MSW21 and BU17+KMW06 are analytic-only rows (see DESIGN.md §5.4).",
+		},
+	}
+
+	type algo struct {
+		name        string
+		approx      string
+		rounds      string
+		run         func(g *graph.Graph, seed uint64) (*mds.Report, error)
+		alphaUnused bool
+	}
+	eps := 0.2
+	algos := []algo{
+		{
+			name: "this paper, det (Thm 1.1)", approx: "(2α+1)(1+ε)", rounds: "O(log(Δ/α)/ε)",
+			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
+				return mds.UnweightedDeterministic(g, alpha, eps, congest.WithSeed(seed))
+			},
+		},
+		{
+			name: "this paper, rand (Thm 1.2, t=2)", approx: "α+O(α/t)", rounds: "O(t·log Δ)",
+			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
+				return mds.WeightedRandomized(g, alpha, 2, congest.WithSeed(seed))
+			},
+		},
+		{
+			name: "LW10-style det bucket", approx: "O(α·log Δ)", rounds: "O(log Δ)",
+			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
+				return baseline.LWDeterministic(g, congest.WithSeed(seed))
+			},
+		},
+		{
+			name: "LRG rand (JRS02)", approx: "O(log Δ) exp.", rounds: "O(log n·log Δ)",
+			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
+				return baseline.LRGRandomized(g, congest.WithSeed(seed))
+			},
+		},
+	}
+
+	for _, a := range algos {
+		rep, err := a.run(big.G, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.name, err)
+		}
+		if und := verify.DominatingSet(big.G, inSetOf(rep)); len(und) > 0 {
+			return nil, fmt.Errorf("%s produced an invalid dominating set", a.name)
+		}
+		repS, err := a.run(small.G, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(a.name, a.approx, a.rounds,
+			fmtI(rep.Rounds()), fmtI(len(rep.DS)),
+			fmtF(rep.CertifiedRatio()), fmtF(exactRatio(small.G, repS.DSWeight)))
+	}
+
+	// Centralized references.
+	gr := baseline.Greedy(big.G)
+	grS := baseline.Greedy(small.G)
+	t.AddRow("greedy (centralized, Joh74)", "ln(Δ+1)", "—", "—",
+		fmtI(len(gr.DS)), "—", fmtF(exactRatio(small.G, grS.Weight)))
+	sun := baseline.Sun(big.G)
+	sunS := baseline.Sun(small.G)
+	var sunLB float64
+	for _, xv := range sun.Packing {
+		sunLB += float64(xv)
+	}
+	sunRatio := math.Inf(1)
+	if sunLB > 0 {
+		sunRatio = float64(sun.Weight) / sunLB
+	}
+	t.AddRow("Sun21-style (centralized)", "α+1 (Sun's order)", "—", "—",
+		fmtI(len(sun.DS)), fmtF(sunRatio), fmtF(exactRatio(small.G, sunS.Weight)))
+
+	// Analytic-only prior work.
+	t.AddRow("LW10 rand", "O(α²) exp.", "O(log n)", "—", "—", "—", "—")
+	t.AddRow("BU17+KMW06", "(2α+1)(1+ε)", "O(log²Δ/ε⁴)", "—", "—", "—", "—")
+	t.AddRow("MSW21 rand", "O(α) exp.", "O(α·log n)", "—", "—", "—", "—")
+
+	return []*Table{t}, nil
+}
+
+// E2RoundsVsDelta regenerates the Theorem 1.1 round bound O(log(Δ/α)/ε):
+// on broom trees (α = 1) the measured round count must grow logarithmically
+// with Δ and match the schedule formula exactly.
+func E2RoundsVsDelta(cfg Config) ([]*Table, error) {
+	eps := 0.25
+	t := &Table{
+		ID:       "E2",
+		Title:    fmt.Sprintf("rounds vs Δ at α=1, ε=%.2f (broom trees)", eps),
+		PaperRef: "Theorem 1.1 round complexity O(log(Δ/α)/ε)",
+		Columns:  []string{"Δ", "n", "rounds", "Δrounds (Δ ×4)", "certified ratio", "bound (2α+1)(1+ε)"},
+		Notes: []string{
+			"each row multiplies Δ by 4 (the last by 16 at full scale); the round increments must stay near-constant per ×4 — the logarithmic shape of the theorem, 2·log_{1+ε}4 ≈ 12.4 at ε=0.25.",
+		},
+	}
+	leaves := []int{8, 32, 128, 512, cfg.pick(2048, 8192)}
+	pathLen := cfg.pick(60, 300)
+	prevRounds := 0
+	for i, l := range leaves {
+		w := gen.Broom(pathLen, l)
+		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		delta := w.G.MaxDegree()
+		inc := "—"
+		if i > 0 {
+			inc = fmtI(rep.Rounds() - prevRounds)
+		}
+		prevRounds = rep.Rounds()
+		t.AddRow(fmtI(delta), fmtI(w.G.N()), fmtI(rep.Rounds()), inc,
+			fmtF(rep.CertifiedRatio()), fmtF(rep.Factor))
+	}
+
+	// E2b: rounds vs n at fixed Δ and α — the round complexity must be
+	// independent of n, the decisive advantage over MSW21's O(α·log n)
+	// and LW10-rand's O(log n).
+	tb := &Table{
+		ID:       "E2b",
+		Title:    "rounds vs n at fixed Δ=129, α=1 (broom trees)",
+		PaperRef: "Theorem 1.1: round complexity depends on Δ/α and ε only — not on n",
+		Columns:  []string{"n", "Δ", "rounds (Thm 1.1)", "α·log₂ n (MSW21 shape)", "certified ratio"},
+		Notes: []string{
+			"MSW21 needs O(α·log n) rounds and LW10-rand O(log n); the measured column stays flat while theirs would grow with n.",
+		},
+	}
+	for _, pl := range []int{128, 1024, 8192, cfg.pick(16384, 131072)} {
+		w := gen.Broom(pl, 128)
+		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmtI(w.G.N()), fmtI(w.G.MaxDegree()), fmtI(rep.Rounds()),
+			fmtF(math.Log2(float64(w.G.N()))), fmtF(rep.CertifiedRatio()))
+	}
+	return []*Table{t, tb}, nil
+}
+
+// E3ApproxVsEpsilon regenerates the Theorem 1.1 approximation bound
+// (2α+1)(1+ε): across α and ε the certified ratio must stay below the
+// bound, and rounds must scale like 1/ε.
+func E3ApproxVsEpsilon(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:       "E3",
+		Title:    "certified approximation vs ε and α (forest unions)",
+		PaperRef: "Theorem 1.1 approximation factor (2α+1)(1+ε)",
+		Columns:  []string{"α", "ε", "bound", "certified ratio", "ratio vs OPT (n=40)", "rounds"},
+	}
+	n := cfg.pick(300, 2500)
+	for _, alpha := range []int{1, 2, 4} {
+		big := gen.ForestUnion(n, alpha, cfg.Seed+uint64(alpha))
+		small := gen.ForestUnion(40, alpha, cfg.Seed+100+uint64(alpha))
+		for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+			rep, err := mds.UnweightedDeterministic(big.G, alpha, eps, congest.WithSeed(cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			repS, err := mds.UnweightedDeterministic(small.G, alpha, eps, congest.WithSeed(cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			if rep.CertifiedRatio() > rep.Factor*(1+1e-9) {
+				return nil, fmt.Errorf("E3: certified ratio %g exceeds bound %g", rep.CertifiedRatio(), rep.Factor)
+			}
+			t.AddRow(fmtI(alpha), fmtF(eps), fmtF(rep.Factor),
+				fmtF(rep.CertifiedRatio()), fmtF(exactRatio(small.G, repS.DSWeight)), fmtI(rep.Rounds()))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E4TradeoffT regenerates the Theorem 1.2 trade-off: larger t buys a better
+// approximation (α + O(α/t)) at the cost of O(t·log Δ) rounds. Measured on
+// a preferential-attachment graph with uniform weights, averaged over
+// seeds. The workload needs Δ ≫ α so that the Lemma 4.1 phase engages:
+// with λ = ε/(α+1) the lemma sets S = ∅ whenever λ(Δ+1) < 1.
+func E4TradeoffT(cfg Config) ([]*Table, error) {
+	n := cfg.pick(1000, 8000)
+	w := gen.BarabasiAlbert(n, 16, cfg.Seed)
+	alpha := w.ArboricityBound // = 16, so the valid regime is t ≤ α/log α = 4
+	g := gen.UniformWeights(w.G, 100, cfg.Seed+1)
+	t := &Table{
+		ID:       "E4",
+		Title:    fmt.Sprintf("Theorem 1.2 trade-off on %s (α=%d, Δ=%d)", w.Name, alpha, g.MaxDegree()),
+		PaperRef: "Theorem 1.2: (α+O(α/t))-approximation in O(t·log Δ) rounds",
+		Columns: []string{
+			"t", "γ", "analytic E-bound", "mean w(DS)", "mean ratio vs LB", "mean w(S′) share", "rounds",
+		},
+		Notes: []string{
+			"LB is the strongest dual packing bound produced across all runs of the table (every feasible packing lower-bounds OPT), so the ratio column is comparable across rows — a run's own Σx weakens as ε = 1/4t shrinks.",
+			"w(S′) share is the fraction of the set's weight contributed by the Lemma 4.6 sampling extension.",
+			"the theorem's regime is 1 ≤ t ≤ α/log α (= 4 here); the Theorem 1.1 row uses the deterministic completion instead of the sampling extension.",
+		},
+	}
+	// The deterministic run's packing (largest ε) is the strongest
+	// Lemma 2.1 lower bound available; use it as the common denominator.
+	det, err := mds.WeightedDeterministic(g, alpha, 0.25, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	lb := det.PackingSum
+	type row struct {
+		label           string
+		gamma, analytic string
+		weights         []float64
+		extShare        []float64
+		rounds          int
+	}
+	var rows []row
+	for _, tt := range []int{1, 2, 3, 4} {
+		r := row{label: fmtI(tt)}
+		for rep := 0; rep < cfg.reps(); rep++ {
+			rr, err := mds.WeightedRandomized(g, alpha, tt, congest.WithSeed(cfg.Seed+uint64(1000*rep)))
+			if err != nil {
+				return nil, err
+			}
+			if rr.PackingSum > lb {
+				lb = rr.PackingSum
+			}
+			r.weights = append(r.weights, float64(rr.DSWeight))
+			r.extShare = append(r.extShare, float64(rr.ExtensionWeight)/float64(rr.DSWeight))
+			r.rounds = rr.Rounds()
+			r.gamma = fmtF(rr.Gamma)
+			r.analytic = fmtF(rr.ExpectedFactor)
+		}
+		rows = append(rows, r)
+	}
+	rows = append(rows, row{
+		label: "Thm 1.1 (ε=0.25)", gamma: "—", analytic: fmtF(det.Factor),
+		weights:  []float64{float64(det.DSWeight)},
+		extShare: []float64{float64(det.ExtensionWeight) / float64(det.DSWeight)},
+		rounds:   det.Rounds(),
+	})
+	for _, r := range rows {
+		t.AddRow(r.label, r.gamma, r.analytic, fmtF(mean(r.weights)),
+			fmtF(mean(r.weights)/lb), fmtF(mean(r.extShare)), fmtI(r.rounds))
+	}
+	return []*Table{t}, nil
+}
+
+// E5GeneralK regenerates Theorem 1.3 on general graphs: for each k, the
+// expected approximation is Δ^{1/k}(Δ^{1/k}+1)(k+1) in O(k²) rounds; the
+// paper's improvement over KMW06 is dropping their extra log Δ factor —
+// shown both analytically and by running a KW05-style implementation on the
+// same instances.
+func E5GeneralK(cfg Config) ([]*Table, error) {
+	n := cfg.pick(400, 2000)
+	w := gen.ErdosRenyi(n, 12/float64(n), cfg.Seed)
+	g := w.G // unweighted so the KW05 baseline can run on the same input
+	delta := float64(g.MaxDegree() + 1)
+	t := &Table{
+		ID:       "E5",
+		Title:    fmt.Sprintf("Theorem 1.3 vs KW05-style on %s (Δ=%d)", w.Name, g.MaxDegree()),
+		PaperRef: "Theorem 1.3: O(kΔ^{2/k})-approximation in O(k²) rounds (improves KMW06 by log Δ)",
+		Columns: []string{
+			"k", "algorithm", "analytic bound", "mean |DS|", "mean ratio vs LB", "rounds",
+		},
+		Notes: []string{
+			"LB is the strongest Theorem 1.3 dual packing across all runs (Σx ≤ OPT); KW05's fractional phase has no dual, so both algorithms are normalized by the same bound.",
+			"the KW05 analytic bound carries the extra ln Δ from its randomized rounding — the factor Theorem 1.3 removes.",
+		},
+	}
+	var lb float64
+	type row struct {
+		k              int
+		algo, analytic string
+		sizes          []float64
+		rounds         int
+	}
+	var rows []row
+	for _, k := range []int{1, 2, 3, 4} {
+		tRow := row{k: k, algo: "Thm 1.3"}
+		var gamma float64
+		for rep := 0; rep < cfg.reps(); rep++ {
+			r, err := mds.GeneralGraphs(g, k, congest.WithSeed(cfg.Seed+uint64(999*rep)))
+			if err != nil {
+				return nil, err
+			}
+			if !r.AllDominated {
+				return nil, fmt.Errorf("E5: k=%d run left nodes undominated", k)
+			}
+			if r.PackingSum > lb {
+				lb = r.PackingSum
+			}
+			tRow.sizes = append(tRow.sizes, float64(r.DSWeight))
+			tRow.rounds = r.Rounds()
+			gamma = r.Gamma
+		}
+		tRow.analytic = fmtF(gamma * (gamma + 1) * float64(k+1))
+		rows = append(rows, tRow)
+
+		kRow := row{k: k, algo: "KW05-style"}
+		for rep := 0; rep < cfg.reps(); rep++ {
+			r, _, err := baseline.KW05(g, k, congest.WithSeed(cfg.Seed+uint64(777*rep)))
+			if err != nil {
+				return nil, err
+			}
+			if !r.AllDominated {
+				return nil, fmt.Errorf("E5: KW05 k=%d left nodes undominated", k)
+			}
+			kRow.sizes = append(kRow.sizes, float64(r.DSWeight))
+			kRow.rounds = r.Rounds()
+		}
+		kRow.analytic = fmtF(gamma * (gamma + 1) * float64(k+1) * math.Log(delta))
+		rows = append(rows, kRow)
+	}
+	for _, r := range rows {
+		t.AddRow(fmtI(r.k), r.algo, r.analytic, fmtF(mean(r.sizes)),
+			fmtF(mean(r.sizes)/lb), fmtI(r.rounds))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+
+	"arbods/internal/arbor"
+	"arbods/internal/baseline"
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+	"arbods/internal/lower"
+	"arbods/internal/mds"
+	"arbods/internal/verify"
+)
+
+// E6LowerBound regenerates Figure 1 and the Theorem 1.4 pipeline:
+//
+//   - E6a: the construction H from a KMW-flavoured bipartite gadget, with
+//     every structural property the proof uses checked against the paper's
+//     formulas (node/edge counts, Δ², the arboricity-2 orientation);
+//   - E6b: the reduction — solve MDS on H with the paper's own algorithm
+//     (H has arboricity 2!), extract a fractional vertex cover of the base
+//     graph, verify feasibility, and compare its value to the proof bound
+//     c(1+1/Δ)·OPT_MFVC;
+//   - E6c: the locality phenomenon — truncating the algorithm's rounds on H
+//     degrades the approximation, the finite-instance face of the
+//     Ω(log Δ/log log Δ) lower bound.
+func E6LowerBound(cfg Config) ([]*Table, error) {
+	var base *lowerBase
+	var err error
+	if cfg.Scale == Full {
+		base, err = newLowerBase(12, 4, 6, cfg.Seed)
+	} else {
+		base, err = newLowerBase(8, 3, 4, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := base.c
+	bg := base.g
+
+	// --- E6a: construction properties ---
+	n, m, delta := bg.N(), bg.M(), bg.MaxDegree()
+	ta := &Table{
+		ID:       "E6a",
+		Title:    fmt.Sprintf("construction H from bipartite gadget (n=%d, m=%d, Δ=%d)", n, m, delta),
+		PaperRef: "Figure 1 / Section 5 construction",
+		Columns:  []string{"property", "paper formula", "value", "measured", "ok"},
+	}
+	check := func(name, formula string, want, got int) {
+		ok := "yes"
+		if want != got {
+			ok = "NO"
+		}
+		ta.AddRow(name, formula, fmtI(want), fmtI(got), ok)
+	}
+	check("nodes of H", "Δ²(n+m)+n", delta*delta*(n+m)+n, c.H.N())
+	check("edges of H", "Δ²(2m+n)", delta*delta*(2*m+n), c.H.M())
+	check("max degree of H", "Δ²", delta*delta, c.H.MaxDegree())
+	witness := c.ArboricityWitness()
+	wOK := "yes"
+	if err := verify.OutDegreeAtMost(witness, 2); err != nil {
+		wOK = "NO"
+	}
+	ta.AddRow("arboricity(H) ≤ 2", "orientation witness", "out-deg ≤ 2", wOK, wOK)
+	lo, hi := arbor.Bounds(c.H)
+	ta.AddRow("Nash–Williams bracket", "α ∈ [lo,hi]", "lo ≤ 2 ≤ hi?", fmt.Sprintf("[%d,%d]", lo, hi), boolCell(lo <= 2 && hi >= 1))
+
+	// --- E6b: the reduction ---
+	rep, err := mds.UnweightedDeterministic(c.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	y := c.ExtractFractionalVC(inSetOf(rep))
+	feas := verify.FractionalVertexCover(bg, y, 1e-9) == nil
+	optVC, err := lower.MaxMatching(bg)
+	if err != nil {
+		return nil, err
+	}
+	val := verify.FractionalValue(y)
+	ratio := rep.CertifiedRatio()
+	bound := ratio * (1 + 1/float64(delta)) * float64(optVC)
+	tb := &Table{
+		ID:       "E6b",
+		Title:    "MDS(H) → fractional vertex cover(G) reduction",
+		PaperRef: "Theorem 1.4 proof (simulation + extraction)",
+		Columns:  []string{"quantity", "value"},
+		Notes: []string{
+			"the proof requires Σy ≤ c(1+1/Δ)·OPT_MFVC when the MDS algorithm is a c-approximation; c is instantiated with the run's certified ratio.",
+		},
+	}
+	tb.AddRow("|S| on H", fmtI(len(rep.DS)))
+	tb.AddRow("certified MDS ratio c", fmtF(ratio))
+	tb.AddRow("extracted cover feasible", boolCell(feas))
+	tb.AddRow("Σy (fractional VC value)", fmtF(val))
+	tb.AddRow("OPT_MFVC (= max matching, König)", fmtI(optVC))
+	tb.AddRow("proof bound c(1+1/Δ)·OPT", fmtF(bound))
+	tb.AddRow("Σy ≤ bound", boolCell(val <= bound*(1+1e-9)))
+	if !feas {
+		return nil, fmt.Errorf("E6b: extracted fractional cover infeasible")
+	}
+
+	// --- E6c: locality sweep ---
+	tc := &Table{
+		ID:       "E6c",
+		Title:    "approximation vs rounds on H (truncated runs)",
+		PaperRef: "Theorem 1.4: poly-log approximation needs Ω(log Δ/log log Δ) rounds on arboricity-2 graphs",
+		Columns:  []string{"packing iterations", "rounds", "|DS|", "certified ratio"},
+		Notes: []string{
+			"shrinking the iteration budget collapses the packing phase and the self-completion step balloons — locality costs approximation, exactly the trade-off the lower bound forbids escaping.",
+		},
+	}
+	full, err := mds.UnweightedDeterministic(c.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, iters := range []int{1, 2, 4, 8, 16} {
+		r, err := mds.TruncatedUnweighted(c.H, 2, 0.2, iters, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		tc.AddRow(fmtI(iters), fmtI(r.Rounds()), fmtI(len(r.DS)), fmtF(r.CertifiedRatio()))
+	}
+	tc.AddRow("full schedule", fmtI(full.Rounds()), fmtI(len(full.DS)), fmtF(full.CertifiedRatio()))
+
+	// --- E6d: the same reduction over a layered (cluster-tree-style)
+	// base, whose geometric degree disparity between layers mirrors the
+	// KMW CT_k structure the paper consumes as a black box. ---
+	// Small scale: δ=2 keeps H near 1400 nodes; full scale: δ=3 → ~28k.
+	var layered *graph.Graph
+	if cfg.Scale == Full {
+		layered, err = lower.LayeredGadget(36, 3, 2, cfg.Seed+5)
+	} else {
+		layered, err = lower.LayeredGadget(8, 2, 2, cfg.Seed+5)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lc, err := lower.Build(layered)
+	if err != nil {
+		return nil, err
+	}
+	lrep, err := mds.UnweightedDeterministic(lc.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	ly := lc.ExtractFractionalVC(inSetOf(lrep))
+	lfeas := verify.FractionalVertexCover(layered, ly, 1e-9) == nil
+	lopt, err := lower.MaxMatching(layered)
+	if err != nil {
+		return nil, err
+	}
+	lval := verify.FractionalValue(ly)
+	lbound := lrep.CertifiedRatio() * (1 + 1/float64(layered.MaxDegree())) * float64(lopt)
+	td := &Table{
+		ID:       "E6d",
+		Title:    fmt.Sprintf("reduction over a layered KMW-style base (n=%d, Δ=%d, H: n=%d)", layered.N(), layered.MaxDegree(), lc.H.N()),
+		PaperRef: "Theorem 1.4 with a cluster-tree-flavoured base graph",
+		Columns:  []string{"quantity", "value"},
+		Notes: []string{
+			"the layered base chains biregular levels with degrees δ (down) and δ² (up) — the degree-disparity pattern of the KMW cluster trees.",
+		},
+	}
+	td.AddRow("|S| on H", fmtI(len(lrep.DS)))
+	td.AddRow("certified MDS ratio c", fmtF(lrep.CertifiedRatio()))
+	td.AddRow("extracted cover feasible", boolCell(lfeas))
+	td.AddRow("Σy", fmtF(lval))
+	td.AddRow("OPT_MFVC", fmtI(lopt))
+	td.AddRow("proof bound c(1+1/Δ)·OPT", fmtF(lbound))
+	td.AddRow("Σy ≤ bound", boolCell(lval <= lbound*(1+1e-9)))
+	if !lfeas {
+		return nil, fmt.Errorf("E6d: extracted fractional cover infeasible")
+	}
+	return []*Table{ta, tb, tc, td}, nil
+}
+
+type lowerBase struct {
+	g *graph.Graph
+	c *lower.Construction
+}
+
+func newLowerBase(nl, dl, dr int, seed uint64) (*lowerBase, error) {
+	g, err := lower.Gadget(nl, dl, dr, seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := lower.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	return &lowerBase{g: g, c: c}, nil
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+// E7Trees regenerates Observation A.1: on forests, all-non-leaf nodes is a
+// 3-approximation computed in one communication round; the table compares
+// it against the paper's main algorithm (α = 1), the LW bucket baseline,
+// and the exact optimum.
+func E7Trees(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:       "E7",
+		Title:    "dominating set on trees",
+		PaperRef: "Observation A.1 (Appendix A): 3-approximation in one round on forests",
+		Columns:  []string{"tree", "algorithm", "rounds", "|DS|", "ratio vs OPT"},
+	}
+	shapes := []gen.Result{
+		gen.Path(60),
+		gen.Star(60),
+		gen.Caterpillar(15, 3),
+		gen.RandomTree(60, cfg.Seed),
+		gen.BalancedTree(3, 3),
+	}
+	for _, w := range shapes {
+		opt, err := baseline.Exact(w.G)
+		if err != nil {
+			return nil, err
+		}
+		tri, err := mds.TreeThreeApprox(w.G, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		if float64(tri.DSWeight) > 3*float64(opt.Weight) {
+			return nil, fmt.Errorf("E7: 3-approximation violated on %s: %d vs OPT %d", w.Name, tri.DSWeight, opt.Weight)
+		}
+		det, err := mds.UnweightedDeterministic(w.G, 1, 0.2, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		lw, err := baseline.LWDeterministic(w.G, congest.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.Name, "tree 3-approx (Obs A.1)", fmtI(tri.Rounds()), fmtI(len(tri.DS)),
+			fmtF(float64(tri.DSWeight)/float64(opt.Weight)))
+		t.AddRow("", "this paper (Thm 1.1, α=1)", fmtI(det.Rounds()), fmtI(len(det.DS)),
+			fmtF(float64(det.DSWeight)/float64(opt.Weight)))
+		t.AddRow("", "LW bucket", fmtI(lw.Rounds()), fmtI(len(lw.DS)),
+			fmtF(float64(lw.DSWeight)/float64(opt.Weight)))
+		t.AddRow("", "exact", "—", fmtI(len(opt.DS)), "1")
+	}
+	// A large tree: the linear-time forest DP still gives exact OPT.
+	big := gen.RandomTree(cfg.pick(5000, 50000), cfg.Seed+7)
+	bigOpt, err := baseline.ExactForest(big.G)
+	if err != nil {
+		return nil, err
+	}
+	tri, err := mds.TreeThreeApprox(big.G, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if float64(tri.DSWeight) > 3*float64(bigOpt.Weight) {
+		return nil, fmt.Errorf("E7: 3-approximation violated on %s", big.Name)
+	}
+	det, err := mds.UnweightedDeterministic(big.G, 1, 0.2, congest.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(big.Name, "tree 3-approx (Obs A.1)", fmtI(tri.Rounds()), fmtI(len(tri.DS)),
+		fmtF(float64(tri.DSWeight)/float64(bigOpt.Weight)))
+	t.AddRow("", "this paper (Thm 1.1, α=1)", fmtI(det.Rounds()), fmtI(len(det.DS)),
+		fmtF(float64(det.DSWeight)/float64(bigOpt.Weight)))
+	t.AddRow("", "exact (forest DP)", "—", fmtI(len(bigOpt.DS)), "1")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,23 @@
+package congest
+
+import "math/bits"
+
+// MsgTagBits is the bit cost charged for a message's type tag. With fewer
+// than 16 message types in the library, 4 bits suffice.
+const MsgTagBits = 4
+
+// BitsUint returns the number of bits needed to encode x (at least 1).
+func BitsUint(x uint64) int {
+	if x == 0 {
+		return 1
+	}
+	return bits.Len64(x)
+}
+
+// BitsInt returns the number of bits needed to encode x with a sign bit.
+func BitsInt(x int64) int {
+	if x < 0 {
+		x = -x
+	}
+	return 1 + BitsUint(uint64(x))
+}

@@ -1,0 +1,444 @@
+// Package congest simulates the synchronous CONGEST and LOCAL models of
+// distributed computing on top of a graph from internal/graph.
+//
+// The model (paper, Section 2): the communication network is the input
+// graph; nodes exchange messages over edges in synchronous rounds; in
+// CONGEST every message is restricted to O(log n) bits; initially a node
+// knows only its ID, its weight, and its neighbor list (plus the globally
+// known parameters n, Δ, α where the algorithm assumes them); at the end
+// every node knows its own output.
+//
+// The simulator enforces the model rather than assuming it:
+//
+//   - messages may only be sent to neighbors,
+//   - per directed edge and per round, the total size of all messages is
+//     accounted in bits and checked against the bandwidth budget
+//     (Strict mode errors, Audit mode records, LOCAL mode lifts the limit),
+//   - messages sent in round r are delivered at the start of round r+1,
+//   - randomness comes from per-node streams seeded by (runSeed, nodeID),
+//     so the sequential engine and the parallel (goroutine-pool) engine
+//     produce bit-identical transcripts.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"arbods/internal/graph"
+	"arbods/internal/rng"
+)
+
+// Message is anything a node can send over an edge. Bits must return the
+// encoded size in bits; the engine uses it for bandwidth accounting.
+type Message interface {
+	Bits() int
+}
+
+// Incoming is a received message tagged with its sender.
+type Incoming struct {
+	From int
+	Msg  Message
+}
+
+// NodeInfo is the local knowledge a node starts with.
+type NodeInfo struct {
+	// ID is the node's identifier in [0, N).
+	ID int
+	// Neighbors is the sorted neighbor list. Read-only view: procs must not
+	// modify it.
+	Neighbors []int32
+	// Weight is the node's weight.
+	Weight int64
+	// N is the number of nodes in the network (globally known).
+	N int
+	// MaxDegree is Δ if the algorithm assumes it known, else 0.
+	MaxDegree int
+	// Arboricity is (an upper bound on) α if assumed known, else 0.
+	Arboricity int
+	// Rand is the node's private random stream.
+	Rand *rng.Stream
+}
+
+// Degree returns the node's degree.
+func (ni *NodeInfo) Degree() int { return len(ni.Neighbors) }
+
+// Proc is the per-node state machine of a distributed algorithm. Step is
+// called once per round with the messages delivered this round; it sends
+// messages for the next round through s and returns true when the node has
+// terminated locally (output fixed, no further messages will be sent, and no
+// further messages need to be received).
+//
+// Once Step returns true the engine stops scheduling the node; messages that
+// still arrive are counted and dropped. Output may be called only after the
+// run completes.
+type Proc[O any] interface {
+	Step(round int, in []Incoming, s *Sender) (done bool)
+	Output() O
+}
+
+// Factory builds the per-node proc. It is called once per node before round 0.
+type Factory[O any] func(ni NodeInfo) Proc[O]
+
+// Mode selects the communication model.
+type Mode int
+
+const (
+	// Congest enforces the bandwidth budget strictly: a violation aborts the
+	// run with a *BandwidthError.
+	Congest Mode = iota + 1
+	// CongestAudit records violations in the result but lets the run finish.
+	CongestAudit
+	// Local has unbounded messages (the LOCAL model); bits are still counted.
+	Local
+)
+
+// DefaultBandwidth is the default CONGEST budget in bits for an n-node
+// network: 32·⌈log₂(max(n,2))⌉, a concrete instantiation of the O(log n)
+// bound that fits a small constant number of the library's messages.
+func DefaultBandwidth(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	return 32 * bits.Len(uint(n-1))
+}
+
+type config struct {
+	mode       Mode
+	bandwidth  int // 0 = DefaultBandwidth(n)
+	maxRounds  int
+	workers    int
+	seed       uint64
+	maxDegree  bool // expose Δ in NodeInfo
+	arboricity int  // expose α in NodeInfo when > 0
+	roundStats bool
+	msgStats   bool
+}
+
+// Option configures a run.
+type Option interface{ apply(*config) }
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithMode selects Congest (default), CongestAudit, or Local.
+func WithMode(m Mode) Option { return optionFunc(func(c *config) { c.mode = m }) }
+
+// WithBandwidth overrides the per-edge per-round bit budget.
+func WithBandwidth(b int) Option { return optionFunc(func(c *config) { c.bandwidth = b }) }
+
+// WithMaxRounds bounds the number of rounds (default 1_000_000). Exceeding
+// it is an error: every algorithm in the library has a known round bound, so
+// hitting the cap means a bug.
+func WithMaxRounds(r int) Option { return optionFunc(func(c *config) { c.maxRounds = r }) }
+
+// WithWorkers sets the number of goroutines stepping nodes (default
+// GOMAXPROCS; 1 selects the sequential engine). Results are identical for
+// any worker count.
+func WithWorkers(w int) Option { return optionFunc(func(c *config) { c.workers = w }) }
+
+// WithSeed sets the run seed for the per-node random streams.
+func WithSeed(seed uint64) Option { return optionFunc(func(c *config) { c.seed = seed }) }
+
+// WithKnownMaxDegree exposes Δ to the nodes via NodeInfo (the paper's
+// default assumption; Remark 4.4 drops it).
+func WithKnownMaxDegree() Option { return optionFunc(func(c *config) { c.maxDegree = true }) }
+
+// WithKnownArboricity exposes the given arboricity bound to the nodes (the
+// paper's default assumption; Remark 4.5 drops it).
+func WithKnownArboricity(alpha int) Option {
+	return optionFunc(func(c *config) { c.arboricity = alpha })
+}
+
+// WithRoundStats records per-round message/bit statistics in the result.
+func WithRoundStats() Option { return optionFunc(func(c *config) { c.roundStats = true }) }
+
+// WithMessageStats records per-message-type counts and bit volumes in the
+// result (Result.MessageStats). Costs one type switch per message.
+func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats = true }) }
+
+// RoundStat is the traffic of one round.
+type RoundStat struct {
+	Round       int
+	Messages    int64
+	Bits        int64
+	ActiveNodes int
+}
+
+// Result is the outcome of a run.
+type Result[O any] struct {
+	// Outputs holds each node's output, indexed by node ID.
+	Outputs []O
+	// Rounds is the number of rounds executed (a round with no active nodes
+	// and no in-flight messages is not counted).
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// TotalBits is the total message volume in bits.
+	TotalBits int64
+	// MaxEdgeBits is the largest per-directed-edge per-round bit volume seen.
+	MaxEdgeBits int
+	// Bandwidth is the budget that applied (0 in Local mode).
+	Bandwidth int
+	// BandwidthViolations counts edge-rounds above budget (CongestAudit).
+	BandwidthViolations int64
+	// DroppedMessages counts messages sent to locally-terminated nodes.
+	DroppedMessages int64
+	// RoundStats is filled when WithRoundStats is set.
+	RoundStats []RoundStat
+	// MessageStats is filled when WithMessageStats is set: per message type,
+	// how many were sent and their total bit volume.
+	MessageStats map[string]MessageStat
+}
+
+// MessageStat aggregates traffic of one message type.
+type MessageStat struct {
+	Count int64
+	Bits  int64
+}
+
+// BandwidthError reports a CONGEST bandwidth violation in Strict mode.
+type BandwidthError struct {
+	Round    int
+	From, To int
+	Bits     int
+	Budget   int
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("congest: round %d: edge %d→%d carries %d bits > budget %d",
+		e.Round, e.From, e.To, e.Bits, e.Budget)
+}
+
+// Sender collects a node's outgoing messages for the current round.
+type Sender struct {
+	owner     int
+	neighbors []int32
+	out       []Incoming // From is reused to store the *destination* until routing
+	err       error
+}
+
+// Send sends m to neighbor `to` (delivered next round). Sending to a
+// non-neighbor records an error that aborts the run.
+func (s *Sender) Send(to int, m Message) {
+	if s.err != nil {
+		return
+	}
+	if !s.isNeighbor(to) {
+		s.err = fmt.Errorf("congest: node %d sent to non-neighbor %d", s.owner, to)
+		return
+	}
+	s.out = append(s.out, Incoming{From: to, Msg: m})
+}
+
+// Broadcast sends m to every neighbor.
+func (s *Sender) Broadcast(m Message) {
+	if s.err != nil {
+		return
+	}
+	for _, u := range s.neighbors {
+		s.out = append(s.out, Incoming{From: int(u), Msg: m})
+	}
+}
+
+func (s *Sender) isNeighbor(v int) bool {
+	i := sort.Search(len(s.neighbors), func(i int) bool { return s.neighbors[i] >= int32(v) })
+	return i < len(s.neighbors) && s.neighbors[i] == int32(v)
+}
+
+// Run executes the algorithm built by factory on g and returns the outputs
+// and transcript statistics.
+func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O], error) {
+	cfg := config{
+		mode:      Congest,
+		maxRounds: 1_000_000,
+		workers:   runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	n := g.N()
+	budget := 0
+	if cfg.mode != Local {
+		budget = cfg.bandwidth
+		if budget == 0 {
+			budget = DefaultBandwidth(n)
+		}
+	}
+
+	procs := make([]Proc[O], n)
+	senders := make([]Sender, n)
+	for v := 0; v < n; v++ {
+		ni := NodeInfo{
+			ID:        v,
+			Neighbors: g.Neighbors(v),
+			Weight:    g.Weight(v),
+			N:         n,
+			Rand:      rng.ForNode(cfg.seed, v),
+		}
+		if cfg.maxDegree {
+			ni.MaxDegree = g.MaxDegree()
+		}
+		if cfg.arboricity > 0 {
+			ni.Arboricity = cfg.arboricity
+		}
+		procs[v] = factory(ni)
+		senders[v] = Sender{owner: v, neighbors: g.Neighbors(v)}
+	}
+
+	res := &Result[O]{Bandwidth: budget}
+	done := make([]bool, n)
+	inbox := make([][]Incoming, n)
+	next := make([][]Incoming, n)
+	activeCount := n
+
+	// edgeBits accumulates per-receiver bit counts within a round; keyed by
+	// (from, to) it would be a map per round — instead we charge each
+	// directed edge at routing time, aggregating per (sender, receiver) pair
+	// as messages from one sender to one receiver are adjacent in its outbox
+	// only if sent consecutively; we sum explicitly below.
+
+	for round := 0; ; round++ {
+		if activeCount == 0 {
+			break
+		}
+		if round >= cfg.maxRounds {
+			return nil, fmt.Errorf("congest: exceeded max rounds (%d) with %d active nodes", cfg.maxRounds, activeCount)
+		}
+
+		// Step all active nodes, possibly in parallel. Each node touches
+		// only its own proc, inbox, and sender, so this is race-free.
+		step := func(v int) {
+			if done[v] {
+				return
+			}
+			s := &senders[v]
+			s.out = s.out[:0]
+			if procs[v].Step(round, inbox[v], s) {
+				done[v] = true
+			}
+		}
+		if cfg.workers == 1 || n < 64 {
+			for v := 0; v < n; v++ {
+				step(v)
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + cfg.workers - 1) / cfg.workers
+			for w := 0; w < cfg.workers; w++ {
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						step(v)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+
+		// Collect errors and recount active nodes.
+		activeCount = 0
+		for v := 0; v < n; v++ {
+			if senders[v].err != nil {
+				return nil, senders[v].err
+			}
+			if !done[v] {
+				activeCount++
+			}
+		}
+
+		// Route messages: deterministic because we iterate senders in ID
+		// order and each outbox preserves send order, so every inbox ends up
+		// sorted by (sender, send index).
+		var roundMsgs, roundBits int64
+		inflight := 0
+		for v := 0; v < n; v++ {
+			out := senders[v].out
+			if len(out) == 0 {
+				continue
+			}
+			// Per-receiver bit accounting: messages to the same neighbor in
+			// the same round share one B-bit message slot, so their sizes
+			// add up against the budget.
+			bitsTo := make(map[int]int, len(out))
+			for _, m := range out {
+				bitsTo[m.From] += m.Msg.Bits()
+			}
+			for to, sum := range bitsTo {
+				if sum > res.MaxEdgeBits {
+					res.MaxEdgeBits = sum
+				}
+				if budget > 0 && sum > budget {
+					if cfg.mode == Congest {
+						return nil, &BandwidthError{Round: round, From: v, To: to, Bits: sum, Budget: budget}
+					}
+					res.BandwidthViolations++
+				}
+			}
+			for _, m := range out {
+				to := m.From
+				roundMsgs++
+				roundBits += int64(m.Msg.Bits())
+				if cfg.msgStats {
+					if res.MessageStats == nil {
+						res.MessageStats = make(map[string]MessageStat)
+					}
+					key := fmt.Sprintf("%T", m.Msg)
+					st := res.MessageStats[key]
+					st.Count++
+					st.Bits += int64(m.Msg.Bits())
+					res.MessageStats[key] = st
+				}
+				if done[to] {
+					res.DroppedMessages++
+					continue
+				}
+				next[to] = append(next[to], Incoming{From: v, Msg: m.Msg})
+				inflight++
+			}
+		}
+		res.Messages += roundMsgs
+		res.TotalBits += roundBits
+		if cfg.roundStats {
+			res.RoundStats = append(res.RoundStats, RoundStat{
+				Round: round, Messages: roundMsgs, Bits: roundBits, ActiveNodes: activeCount,
+			})
+		}
+		res.Rounds = round + 1
+
+		// Swap inboxes.
+		for v := 0; v < n; v++ {
+			inbox[v] = inbox[v][:0]
+		}
+		inbox, next = next, inbox
+
+		if activeCount == 0 && inflight > 0 {
+			// Messages to terminated nodes only; they were dropped above.
+			break
+		}
+	}
+
+	res.Outputs = make([]O, n)
+	for v := 0; v < n; v++ {
+		res.Outputs[v] = procs[v].Output()
+	}
+	return res, nil
+}
+
+// ErrNotRun is returned by helpers that require a completed run.
+var ErrNotRun = errors.New("congest: run has not completed")

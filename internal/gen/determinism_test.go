@@ -1,0 +1,45 @@
+package gen_test
+
+import (
+	"testing"
+
+	"arbods/internal/gen"
+)
+
+// TestGeneratorDeterminism: identical seeds must give identical graphs for
+// every randomized generator (map-iteration order must not leak in).
+func TestGeneratorDeterminism(t *testing.T) {
+	gens := map[string]func() *testingGraph{
+		"ba":        func() *testingGraph { return wrap(gen.BarabasiAlbert(500, 5, 9)) },
+		"er":        func() *testingGraph { return wrap(gen.ErdosRenyi(300, 0.05, 9)) },
+		"tree":      func() *testingGraph { return wrap(gen.RandomTree(400, 9)) },
+		"forest":    func() *testingGraph { return wrap(gen.ForestUnion(300, 3, 9)) },
+		"bipartite": func() *testingGraph { return wrap(gen.RandomBipartite(50, 60, 0.2, 9)) },
+		"geom":      func() *testingGraph { return wrap(gen.Geometric(300, 0.1, 9)) },
+	}
+	for name, f := range gens {
+		t.Run(name, func(t *testing.T) {
+			a, b := f(), f()
+			if a.n != b.n || a.m != b.m || a.fingerprint != b.fingerprint {
+				t.Fatalf("generator %s is nondeterministic: (%d,%d,%x) vs (%d,%d,%x)",
+					name, a.n, a.m, a.fingerprint, b.n, b.m, b.fingerprint)
+			}
+		})
+	}
+}
+
+type testingGraph struct {
+	n, m        int
+	fingerprint uint64
+}
+
+func wrap(r gen.Result) *testingGraph {
+	fp := uint64(1469598103934665603)
+	for v := 0; v < r.G.N(); v++ {
+		for _, u := range r.G.Neighbors(v) {
+			fp ^= uint64(v)*1000003 + uint64(u)
+			fp *= 1099511628211
+		}
+	}
+	return &testingGraph{n: r.G.N(), m: r.G.M(), fingerprint: fp}
+}

@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"arbods/internal/graph"
+)
+
+// Parse builds a workload from a compact textual spec, used by the CLI
+// tools:
+//
+//	family:key=value,key=value
+//
+// Families and their keys (unlisted keys take the defaults shown):
+//
+//	path:n=100
+//	cycle:n=100
+//	star:n=100
+//	complete:n=20
+//	tree:n=100,seed=1
+//	ktree:k=2,d=5
+//	caterpillar:s=10,l=3
+//	broom:p=50,l=100
+//	forest:n=100,k=2,seed=1
+//	grid:r=10,c=10
+//	torus:r=10,c=10
+//	hypercube:d=6
+//	er:n=100,p=0.05,seed=1
+//	ba:n=100,m=3,seed=1
+//	bipartite:a=50,b=50,p=0.1,seed=1
+//	geom:n=100,r=0.1,seed=1
+//
+// A weight suffix may follow after a slash:
+//
+//	forest:n=100,k=3/uniform:max=100,seed=7
+//	grid:r=10,c=10/exp:scale=50,seed=7
+//	ba:n=200,m=3/degree:factor=5
+func Parse(spec string) (Result, error) {
+	graphSpec, weightSpec, hasWeights := strings.Cut(spec, "/")
+	fam, args, err := splitSpec(graphSpec)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := buildGraph(fam, args)
+	if err != nil {
+		return Result{}, err
+	}
+	if hasWeights {
+		wg, err := applyWeights(res.G, weightSpec)
+		if err != nil {
+			return Result{}, err
+		}
+		res.G = wg
+		res.Name += "/" + weightSpec
+	}
+	return res, nil
+}
+
+func splitSpec(s string) (family string, args map[string]string, err error) {
+	family, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	family = strings.TrimSpace(family)
+	if family == "" {
+		return "", nil, fmt.Errorf("gen: empty spec")
+	}
+	args = make(map[string]string)
+	if rest == "" {
+		return family, args, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("gen: bad argument %q in spec %q", kv, s)
+		}
+		args[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return family, args, nil
+}
+
+type specArgs map[string]string
+
+func (a specArgs) intOr(key string, def int) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("gen: argument %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func (a specArgs) floatOr(key string, def float64) (float64, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gen: argument %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func (a specArgs) seedOr(def uint64) (uint64, error) {
+	v, ok := a["seed"]
+	if !ok {
+		return def, nil
+	}
+	u, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gen: seed %q is not an unsigned integer", v)
+	}
+	return u, nil
+}
+
+func buildGraph(family string, m map[string]string) (Result, error) {
+	a := specArgs(m)
+	var firstErr error
+	geti := func(k string, def int) int {
+		v, err := a.intOr(k, def)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	seed, err := a.seedOr(1)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := buildGraphInner(family, a, geti, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return res, nil
+}
+
+func buildGraphInner(family string, a specArgs, geti func(string, int) int, seed uint64) (Result, error) {
+	switch family {
+	case "path":
+		return Path(geti("n", 100)), nil
+	case "cycle":
+		return Cycle(geti("n", 100)), nil
+	case "star":
+		return Star(geti("n", 100)), nil
+	case "complete":
+		return Complete(geti("n", 20)), nil
+	case "tree":
+		return RandomTree(geti("n", 100), seed), nil
+	case "ktree":
+		return BalancedTree(geti("k", 2), geti("d", 5)), nil
+	case "caterpillar":
+		return Caterpillar(geti("s", 10), geti("l", 3)), nil
+	case "broom":
+		return Broom(geti("p", 50), geti("l", 100)), nil
+	case "forest":
+		return ForestUnion(geti("n", 100), geti("k", 2), seed), nil
+	case "grid":
+		return Grid(geti("r", 10), geti("c", 10)), nil
+	case "torus":
+		return Torus(geti("r", 10), geti("c", 10)), nil
+	case "hypercube":
+		return Hypercube(geti("d", 6)), nil
+	case "er":
+		p, err := a.floatOr("p", 0.05)
+		if err != nil {
+			return Result{}, err
+		}
+		return ErdosRenyi(geti("n", 100), p, seed), nil
+	case "ba":
+		return BarabasiAlbert(geti("n", 100), geti("m", 3), seed), nil
+	case "bipartite":
+		p, err := a.floatOr("p", 0.1)
+		if err != nil {
+			return Result{}, err
+		}
+		return RandomBipartite(geti("a", 50), geti("b", 50), p, seed), nil
+	case "geom":
+		r, err := a.floatOr("r", 0.1)
+		if err != nil {
+			return Result{}, err
+		}
+		return Geometric(geti("n", 100), r, seed), nil
+	default:
+		return Result{}, fmt.Errorf("gen: unknown graph family %q", family)
+	}
+}
+
+func applyWeights(g *graph.Graph, spec string) (*graph.Graph, error) {
+	fam, m, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	a := specArgs(m)
+	seed, err := a.seedOr(1)
+	if err != nil {
+		return nil, err
+	}
+	switch fam {
+	case "unit":
+		return g, nil
+	case "uniform":
+		max, err := a.intOr("max", 100)
+		if err != nil {
+			return nil, err
+		}
+		return UniformWeights(g, int64(max), seed), nil
+	case "exp":
+		scale, err := a.floatOr("scale", 50)
+		if err != nil {
+			return nil, err
+		}
+		return ExponentialWeights(g, scale, seed), nil
+	case "degree":
+		f, err := a.intOr("factor", 5)
+		if err != nil {
+			return nil, err
+		}
+		return DegreeWeights(g, int64(f), seed), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown weight family %q", fam)
+	}
+}

@@ -1,0 +1,93 @@
+package gen_test
+
+import (
+	"testing"
+
+	"arbods/internal/gen"
+)
+
+func TestParseSpecs(t *testing.T) {
+	tests := []struct {
+		spec  string
+		wantN int
+	}{
+		{"path:n=10", 10},
+		{"cycle:n=12", 12},
+		{"star:n=7", 7},
+		{"complete:n=5", 5},
+		{"tree:n=20,seed=3", 20},
+		{"ktree:k=2,d=3", 15},
+		{"caterpillar:s=4,l=2", 12},
+		{"broom:p=5,l=10", 15},
+		{"forest:n=30,k=3,seed=2", 30},
+		{"grid:r=3,c=4", 12},
+		{"torus:r=3,c=3", 9},
+		{"hypercube:d=4", 16},
+		{"er:n=25,p=0.3,seed=4", 25},
+		{"ba:n=40,m=2,seed=5", 40},
+		{"bipartite:a=4,b=6,p=0.5,seed=6", 10},
+		{"geom:n=15,r=0.4,seed=7", 15},
+		{"path", 100}, // defaults apply
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			r, err := gen.Parse(tt.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.G.N() != tt.wantN {
+				t.Fatalf("n = %d, want %d", r.G.N(), tt.wantN)
+			}
+		})
+	}
+}
+
+func TestParseWeightSuffix(t *testing.T) {
+	r, err := gen.Parse("grid:r=4,c=4/uniform:max=9,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.G.Unweighted() {
+		t.Fatal("uniform weights not applied")
+	}
+	for v := 0; v < r.G.N(); v++ {
+		if w := r.G.Weight(v); w < 1 || w > 9 {
+			t.Fatalf("weight %d out of range", w)
+		}
+	}
+	for _, spec := range []string{
+		"path:n=5/unit",
+		"path:n=5/exp:scale=10",
+		"path:n=5/degree:factor=2",
+	} {
+		if _, err := gen.Parse(spec); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"martian:n=5",
+		"path:n=x",
+		"path:n",
+		"er:n=10,p=zap",
+		"path:n=5/uranium:max=2",
+		"tree:n=10,seed=-1",
+	} {
+		if _, err := gen.Parse(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseRejectsNonIntegerArgs(t *testing.T) {
+	// Regression: a non-integer value for an integer parameter must error,
+	// not silently fall back to the default.
+	for _, spec := range []string{"grid:r=2.5,c=4", "forest:n=30,k=x"} {
+		if _, err := gen.Parse(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec serializes graphs in a line-oriented format that is easy to
+// diff and to feed to external tools:
+//
+//	arbods-graph v1
+//	n <nodes> m <edges>
+//	w <id> <weight>        (one line per node with weight != 1)
+//	e <u> <v>              (one line per undirected edge, u < v)
+//
+// Lines beginning with '#' and blank lines are ignored when decoding.
+
+const codecHeader = "arbods-graph v1"
+
+// Encode writes g to w in the arbods text format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\nn %d m %d\n", codecHeader, g.N(), g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Weight(v) != 1 {
+			if _, err := fmt.Fprintf(bw, "w %d %d\n", v, g.Weight(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph in the arbods text format.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if header != codecHeader {
+		return nil, fmt.Errorf("graph: line %d: unexpected header %q", line, header)
+	}
+	sizes, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sizes, "n %d m %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: line %d: bad size line %q: %w", line, sizes, err)
+	}
+	b := NewBuilder(n)
+	edges := 0
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		switch {
+		case fields[0] == "w" && len(fields) == 3:
+			v, err1 := strconv.Atoi(fields[1])
+			w, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight line %q", line, s)
+			}
+			b.SetWeight(v, w)
+		case fields[0] == "e" && len(fields) == 3:
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge line %q", line, s)
+			}
+			b.AddEdge(u, v)
+			edges++
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, edges)
+	}
+	return b.Build()
+}

@@ -1,0 +1,67 @@
+package graph
+
+// Structural metrics used by the benchmark harness to characterize
+// workloads (and by tests to sanity-check generators).
+
+// BFS returns the hop distances from src (-1 for unreachable nodes).
+func (g *Graph) BFS(src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.neighborSlice(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the largest finite BFS distance from src, i.e. the
+// eccentricity of src within its connected component.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.BFS(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// DiameterLowerBound estimates the diameter with the classic double-sweep:
+// BFS from src, then BFS again from the farthest node found. The result is
+// a lower bound on the true diameter (exact on trees) of src's component.
+func (g *Graph) DiameterLowerBound(src int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := g.BFS(src)
+	far, fd := src, 0
+	for v, d := range dist {
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}

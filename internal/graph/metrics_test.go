@@ -1,0 +1,68 @@
+package graph_test
+
+import (
+	"testing"
+
+	"arbods/internal/graph"
+)
+
+func pathN(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+func TestBFS(t *testing.T) {
+	g := pathN(5)
+	dist := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	// Disconnected node.
+	g2 := graph.NewBuilder(3).AddEdge(0, 1).MustBuild()
+	dist = g2.BFS(0)
+	if dist[2] != -1 {
+		t.Fatalf("unreachable node has distance %d", dist[2])
+	}
+	// Out-of-range source.
+	for _, d := range g2.BFS(-1) {
+		if d != -1 {
+			t.Fatal("BFS from invalid source should reach nothing")
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := pathN(7)
+	if ecc := g.Eccentricity(3); ecc != 3 {
+		t.Fatalf("center eccentricity %d, want 3", ecc)
+	}
+	if ecc := g.Eccentricity(0); ecc != 6 {
+		t.Fatalf("end eccentricity %d, want 6", ecc)
+	}
+	// Double sweep is exact on trees regardless of start.
+	for src := 0; src < 7; src++ {
+		if d := g.DiameterLowerBound(src); d != 6 {
+			t.Fatalf("diameter from %d = %d, want 6", src, d)
+		}
+	}
+	if d := graph.NewBuilder(0).MustBuild().DiameterLowerBound(0); d != 0 {
+		t.Fatalf("empty graph diameter %d", d)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star on 5 nodes: one degree-4 node, four degree-1 nodes.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	h := b.MustBuild().DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 || h[0] != 0 {
+		t.Fatalf("histogram %v", h)
+	}
+}

@@ -1,0 +1,80 @@
+// Package mds implements the paper's distributed dominating set algorithms
+// on top of the CONGEST simulator:
+//
+//   - Lemma 4.1: the primal–dual partial dominating set (PartialWeighted),
+//   - Theorem 3.1: the unweighted deterministic algorithm of Section 3,
+//   - Theorem 1.1: the weighted deterministic (2α+1)(1+ε)-approximation,
+//   - Lemma 4.6 / Theorem 1.2: the randomized α(1+o(1))-approximation,
+//   - Theorem 1.3: the O(kΔ^{2/k})-approximation for general graphs,
+//   - Remark 4.4: the unknown-Δ variant,
+//   - Remark 4.5: the unknown-α variant (with internal/orient),
+//   - Observation A.1: the one-round 3-approximation on forests.
+//
+// All packing values have the closed form x_v = τ_v·(1+ε)^j/(Δ+1) (times
+// γ^k during the randomized extension), so messages carry small integers and
+// every message fits in O(log n) bits as the paper requires; the simulator
+// enforces this.
+package mds
+
+import "arbods/internal/congest"
+
+// weightMsg announces the sender's weight (and degree, used by the
+// unknown-Δ variant to compute max_{u∈N+(v)}|N+(u)|).
+type weightMsg struct {
+	w   int64
+	deg int32
+}
+
+// Bits implements congest.Message.
+func (m weightMsg) Bits() int {
+	return congest.MsgTagBits + congest.BitsInt(m.w) + congest.BitsUint(uint64(m.deg))
+}
+
+// packingMsg announces the sender's packing value x = τ·(1+ε)^exp/(D+1),
+// where D is Δ when globally known, or the sender's local normalizer in the
+// unknown-Δ variant (in which case the message carries it).
+type packingMsg struct {
+	tau  int64
+	exp  int32
+	norm int32 // 0 when Δ is globally known
+}
+
+// Bits implements congest.Message.
+func (m packingMsg) Bits() int {
+	b := congest.MsgTagBits + congest.BitsInt(m.tau) + congest.BitsUint(uint64(m.exp))
+	if m.norm != 0 {
+		b += congest.BitsUint(uint64(m.norm))
+	}
+	return b
+}
+
+// joinMsg announces that the sender joined the dominating set; the receiver
+// is now dominated (and the sender, being in the set, is dominated too).
+type joinMsg struct{}
+
+// Bits implements congest.Message.
+func (joinMsg) Bits() int { return congest.MsgTagBits }
+
+// requestMsg asks the receiver (the minimum-weight node in the sender's
+// closed neighborhood) to join the dominating set — the completion step of
+// Theorem 1.1 and Remarks 4.4/4.5.
+type requestMsg struct{}
+
+// Bits implements congest.Message.
+func (requestMsg) Bits() int { return congest.MsgTagBits }
+
+// domMsg announces that the sender is dominated. The randomized extension
+// needs it to maintain X_u over undominated closed neighbors, and the
+// unknown-parameter variants use it for local termination detection.
+type domMsg struct{}
+
+// Bits implements congest.Message.
+func (domMsg) Bits() int { return congest.MsgTagBits }
+
+// degreeMsg announces the sender's degree (tree algorithm, Observation A.1).
+type degreeMsg struct {
+	deg int32
+}
+
+// Bits implements congest.Message.
+func (m degreeMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.deg)) }

@@ -1,0 +1,146 @@
+package mds_test
+
+import (
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/mds"
+)
+
+// TestCleanTermination: the fixed-schedule algorithms (Theorems 3.1, 1.1,
+// 1.2, 1.3) terminate all nodes simultaneously, so no message may ever be
+// sent to a locally-terminated node. This pins down the round schedules:
+// an off-by-one in any stage transition shows up as a dropped message.
+func TestCleanTermination(t *testing.T) {
+	w := gen.ForestUnion(200, 3, 11)
+	g := gen.UniformWeights(w.G, 60, 3)
+	runs := []struct {
+		name string
+		run  func() (*mds.Report, error)
+	}{
+		{"thm3.1", func() (*mds.Report, error) {
+			return mds.UnweightedDeterministic(w.G, 3, 0.2, congest.WithSeed(4))
+		}},
+		{"thm1.1", func() (*mds.Report, error) {
+			return mds.WeightedDeterministic(g, 3, 0.2, congest.WithSeed(4))
+		}},
+		{"thm1.2", func() (*mds.Report, error) {
+			return mds.WeightedRandomized(g, 3, 2, congest.WithSeed(4))
+		}},
+		{"thm1.3", func() (*mds.Report, error) {
+			return mds.GeneralGraphs(g, 2, congest.WithSeed(4))
+		}},
+		{"partial", func() (*mds.Report, error) {
+			return mds.PartialWeighted(g, 3, 0.2, 0.05, congest.WithSeed(4))
+		}},
+		{"tree", func() (*mds.Report, error) {
+			tr := gen.RandomTree(150, 9)
+			return mds.TreeThreeApprox(tr.G)
+		}},
+	}
+	for _, tt := range runs {
+		t.Run(tt.name, func(t *testing.T) {
+			rep, err := tt.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Result.DroppedMessages != 0 {
+				t.Fatalf("%d messages sent to terminated nodes — stage schedule off",
+					rep.Result.DroppedMessages)
+			}
+		})
+	}
+}
+
+// TestRoundFormula pins the exact round count of the deterministic
+// algorithms to their schedule: 2 (weight exchange + setup) + 2r
+// (iterations) + 2 (completion request/serve) for Theorem 1.1.
+func TestRoundFormula(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.25, 0.5} {
+		for _, alpha := range []int{1, 3} {
+			w := gen.ForestUnion(150, alpha, 7)
+			g := gen.UniformWeights(w.G, 40, 3)
+			rep, err := mds.WeightedDeterministic(g, alpha, eps, congest.WithSeed(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := (rep.Rounds() - 4) / 2
+			if rep.Rounds() != 2+2*r+2 {
+				t.Fatalf("rounds %d not of the form 2+2r+2", rep.Rounds())
+			}
+			// r must shrink as ε grows (fewer, coarser iterations).
+			if eps >= 0.5 && r > 40 {
+				t.Fatalf("ε=%g used %d iterations", eps, r)
+			}
+		}
+	}
+}
+
+// TestStressLargeGraph runs Theorem 1.1 on a 100k-node instance — the
+// simulator and algorithm must scale linearly. Skipped with -short.
+func TestStressLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	w := gen.ForestUnion(100_000, 3, 13)
+	g := gen.UniformWeights(w.G, 1000, 17)
+	rep, err := mds.WeightedDeterministic(g, 3, 0.2, congest.WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDominated {
+		t.Fatal("not dominated")
+	}
+	if rep.CertifiedRatio() > rep.Factor {
+		t.Fatalf("certificate violated at scale: %g > %g", rep.CertifiedRatio(), rep.Factor)
+	}
+	t.Logf("n=100k: %d rounds, %d messages, |DS|=%d, certified %.2f",
+		rep.Rounds(), rep.Messages(), len(rep.DS), rep.CertifiedRatio())
+}
+
+// TestBandwidthTightBudget: the algorithms must still work under a much
+// tighter (but sufficient) explicit budget, and fail cleanly under an
+// absurd one.
+func TestBandwidthTightBudget(t *testing.T) {
+	w := gen.ForestUnion(100, 2, 3)
+	g := gen.UniformWeights(w.G, 50, 3)
+	// Weight+packing messages need ≈ 4+41+12 bits; 64 is plenty.
+	if _, err := mds.WeightedDeterministic(g, 2, 0.25,
+		congest.WithSeed(1), congest.WithBandwidth(64)); err != nil {
+		t.Fatalf("64-bit budget should suffice: %v", err)
+	}
+	// 8 bits cannot carry a weight announcement.
+	if _, err := mds.WeightedDeterministic(g, 2, 0.25,
+		congest.WithSeed(1), congest.WithBandwidth(8)); err == nil {
+		t.Fatal("8-bit budget must fail in strict mode")
+	}
+	// …but passes in audit mode, with violations recorded.
+	rep, err := mds.WeightedDeterministic(g, 2, 0.25,
+		congest.WithSeed(1), congest.WithBandwidth(8), congest.WithMode(congest.CongestAudit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.BandwidthViolations == 0 {
+		t.Fatal("audit mode recorded no violations under an 8-bit budget")
+	}
+}
+
+// TestLocalMode: the algorithms run identically in the LOCAL model (the
+// lower bound of Theorem 1.4 holds even there, Section 2).
+func TestLocalMode(t *testing.T) {
+	w := gen.ForestUnion(120, 2, 5)
+	g := gen.UniformWeights(w.G, 50, 3)
+	a, err := mds.WeightedDeterministic(g, 2, 0.25, congest.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mds.WeightedDeterministic(g, 2, 0.25, congest.WithSeed(9), congest.WithMode(congest.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DSWeight != b.DSWeight || a.Rounds() != b.Rounds() {
+		t.Fatalf("LOCAL and CONGEST runs diverged: %d/%d vs %d/%d",
+			a.DSWeight, a.Rounds(), b.DSWeight, b.Rounds())
+	}
+}

@@ -1,0 +1,88 @@
+package mds
+
+import (
+	"fmt"
+
+	"arbods/internal/congest"
+	"arbods/internal/graph"
+)
+
+// treeProc implements Observation A.1: on forests, taking all non-leaf
+// nodes is a 3-approximation of the (unweighted) minimum dominating set.
+//
+// Two degenerate cases the observation glosses over are handled explicitly
+// so the output is always a dominating set on any forest:
+//
+//   - isolated nodes (degree 0) must join — nothing else can dominate them;
+//   - a two-node component consists of two leaves; the lower-ID endpoint
+//     joins. Both cases add one node against OPT ≥ 1 per component, so the
+//     factor-3 bound is unaffected.
+//
+// One communication round (degree exchange) suffices.
+type treeProc struct {
+	ni     congest.NodeInfo
+	inDS   bool
+	domain bool
+	st     int
+}
+
+var _ congest.Proc[Output] = (*treeProc)(nil)
+
+func (p *treeProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	switch p.st {
+	case 0:
+		s.Broadcast(degreeMsg{deg: int32(p.ni.Degree())})
+		p.st = 1
+		return false
+	default:
+		deg := p.ni.Degree()
+		switch {
+		case deg == 0:
+			p.inDS = true
+		case deg >= 2:
+			p.inDS = true
+		default: // leaf: join only in the two-leaf component case
+			nbr := int(p.ni.Neighbors[0])
+			nbrDeg := 1
+			for _, m := range in {
+				if dm, ok := m.Msg.(degreeMsg); ok && m.From == nbr {
+					nbrDeg = int(dm.deg)
+				}
+			}
+			if nbrDeg == 1 && p.ni.ID < nbr {
+				p.inDS = true
+			}
+		}
+		// Domination is immediate: a leaf's single neighbor is either
+		// internal (in the set) or the joined endpoint of a K2.
+		p.domain = true
+		return true
+	}
+}
+
+func (p *treeProc) Output() Output {
+	return Output{InDS: p.inDS, InExtension: p.inDS, Dominated: p.domain}
+}
+
+// TreeThreeApprox runs the Observation A.1 algorithm. It requires a forest
+// (arboricity 1) with unit weights; the 3-approximation bound is for the
+// unweighted problem.
+func TreeThreeApprox(g *graph.Graph, opts ...congest.Option) (*Report, error) {
+	if !g.IsForest() {
+		return nil, fmt.Errorf("mds: TreeThreeApprox requires a forest")
+	}
+	if !g.Unweighted() {
+		return nil, fmt.Errorf("mds: TreeThreeApprox requires unit weights")
+	}
+	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
+		return &treeProc{ni: ni}
+	}
+	res, err := congest.Run(g, factory, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep := buildReport("tree-3approx", res, g)
+	rep.Factor = 0 // the factor-3 bound is vs OPT, not vs a packing
+	rep.Alpha = 1
+	return rep, nil
+}

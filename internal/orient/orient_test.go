@@ -1,0 +1,127 @@
+package orient_test
+
+import (
+	"testing"
+
+	"arbods/internal/arbor"
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+	"arbods/internal/orient"
+)
+
+// checkOrientation verifies that the distributed orientation is a valid
+// orientation of g (every edge directed exactly once) with the promised
+// out-degree bound.
+func checkOrientation(t *testing.T, g *graph.Graph, outs []orient.Output, maxOut int) {
+	t.Helper()
+	oriented := make(map[[2]int]int)
+	maxSeen := 0
+	for v, o := range outs {
+		if o.Layer < 0 {
+			t.Fatalf("node %d never peeled", v)
+		}
+		if len(o.Out) > maxSeen {
+			maxSeen = len(o.Out)
+		}
+		for _, u := range o.Out {
+			if !g.HasEdge(v, int(u)) {
+				t.Fatalf("oriented non-edge %d→%d", v, u)
+			}
+			a, b := v, int(u)
+			if a > b {
+				a, b = b, a
+			}
+			oriented[[2]int{a, b}]++
+		}
+	}
+	if len(oriented) != g.M() {
+		t.Fatalf("oriented %d edges, graph has %d", len(oriented), g.M())
+	}
+	for e, c := range oriented {
+		if c != 1 {
+			t.Fatalf("edge %v oriented %d times", e, c)
+		}
+	}
+	if maxSeen > maxOut {
+		t.Fatalf("max out-degree %d exceeds bound %d", maxSeen, maxOut)
+	}
+}
+
+func TestPartitionKnownAlpha(t *testing.T) {
+	tests := []struct {
+		w     gen.Result
+		alpha int
+	}{
+		{gen.RandomTree(150, 3), 1},
+		{gen.ForestUnion(120, 2, 5), 2},
+		{gen.ForestUnion(100, 4, 7), 4},
+		{gen.Grid(10, 12), 2},
+		{gen.Complete(13), 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.w.Name, func(t *testing.T) {
+			eps := 0.5
+			res, err := orient.Run(tt.w.G, tt.alpha, eps, congest.WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := int((2 + eps) * float64(tt.alpha))
+			if bound < 1 {
+				bound = 1
+			}
+			checkOrientation(t, tt.w.G, res.Outputs, bound+1)
+		})
+	}
+}
+
+func TestDoublingUnknownAlpha(t *testing.T) {
+	tests := []struct {
+		w     gen.Result
+		alpha int // true arboricity bound of the construction
+	}{
+		{gen.RandomTree(150, 3), 1},
+		{gen.ForestUnion(120, 3, 5), 3},
+		{gen.Grid(9, 9), 2},
+		{gen.ErdosRenyi(80, 0.1, 11), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.w.Name, func(t *testing.T) {
+			eps := 0.5
+			res, err := orient.Run(tt.w.G, 0, eps, congest.WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			alpha := tt.alpha
+			if alpha == 0 {
+				_, degen := arbor.Degeneracy(tt.w.G)
+				alpha = degen // α ≤ degeneracy
+			}
+			// Doubling guarantee: out-degree ≤ (2+ε)·2α (estimate overshoots
+			// the true arboricity by at most a factor 2).
+			bound := int((2+eps)*2*float64(alpha)) + 1
+			checkOrientation(t, tt.w.G, res.Outputs, bound)
+		})
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := orient.NewSchedule(10, 0, 0); err == nil {
+		t.Fatal("expected error for ε = 0")
+	}
+	if _, err := orient.NewSchedule(10, 0, 3); err == nil {
+		t.Fatal("expected error for ε > 2")
+	}
+	s, err := orient.NewSchedule(1000, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalRounds() <= 0 {
+		t.Fatal("schedule has no rounds")
+	}
+	// Doubling estimates must reach n.
+	last := s.Estimates[len(s.Estimates)-1]
+	if last < 1000 {
+		t.Fatalf("doubling stops at %d < n", last)
+	}
+}

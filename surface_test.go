@@ -1,0 +1,160 @@
+package arbods_test
+
+import (
+	"errors"
+	"testing"
+
+	"arbods"
+)
+
+// TestGeneratorSurface exercises every generator wrapper of the facade.
+func TestGeneratorSurface(t *testing.T) {
+	gens := map[string]arbods.Workload{
+		"path":        arbods.Path(10),
+		"cycle":       arbods.Cycle(10),
+		"star":        arbods.Star(10),
+		"complete":    arbods.Complete(6),
+		"tree":        arbods.RandomTree(10, 1),
+		"balanced":    arbods.BalancedTree(2, 3),
+		"caterpillar": arbods.Caterpillar(4, 2),
+		"broom":       arbods.Broom(5, 8),
+		"forest":      arbods.ForestUnion(20, 2, 1),
+		"grid":        arbods.Grid(4, 4),
+		"torus":       arbods.Torus(3, 3),
+		"hypercube":   arbods.Hypercube(3),
+		"er":          arbods.ErdosRenyi(20, 0.3, 1),
+		"ba":          arbods.BarabasiAlbert(25, 2, 1),
+		"bipartite":   arbods.RandomBipartite(5, 5, 0.4, 1),
+		"geometric":   arbods.Geometric(25, 0.3, 1),
+	}
+	for name, w := range gens {
+		if w.G == nil || w.Name == "" {
+			t.Fatalf("%s: malformed workload", name)
+		}
+	}
+	base := gens["grid"].G
+	if g := arbods.ExponentialWeights(base, 10, 2); g.Unweighted() {
+		t.Fatal("exponential weights not applied")
+	}
+	if g := arbods.DegreeWeights(base, 3, 0); g.Unweighted() {
+		t.Fatal("degree weights not applied")
+	}
+}
+
+// TestAlgorithmSurface exercises the remaining algorithm wrappers and the
+// option re-exports.
+func TestAlgorithmSurface(t *testing.T) {
+	w := arbods.ForestUnion(80, 2, 3)
+
+	rep, err := arbods.UnweightedDeterministic(w.G, 2, 0.25,
+		arbods.WithSeed(1), arbods.WithWorkers(2), arbods.WithMaxRounds(10_000),
+		arbods.WithRoundStats(), arbods.WithMessageStats(), arbods.WithBandwidth(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Result.RoundStats) == 0 || len(rep.Result.MessageStats) == 0 {
+		t.Fatal("stats options not honored")
+	}
+
+	trunc, err := arbods.TruncatedUnweighted(w.G, 2, 0.25, 2, arbods.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if und := arbods.IsDominatingSet(w.G, arbods.MembershipOf(trunc)); len(und) > 0 {
+		t.Fatal("truncated run not dominating")
+	}
+
+	sun := arbods.SunCentralized(w.G)
+	if len(sun.DS) == 0 {
+		t.Fatal("Sun returned empty set")
+	}
+
+	kw, frac, err := arbods.KW05(w.G, 2, arbods.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kw.AllDominated || frac <= 0 {
+		t.Fatalf("KW05 malformed: dominated=%v frac=%g", kw.AllDominated, frac)
+	}
+
+	layered, err := arbods.LayeredLowerBoundGadget(8, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered.N() != 8+4+2 {
+		t.Fatalf("layered gadget n=%d", layered.N())
+	}
+
+	ex, err := arbods.ExactSmall(arbods.Cycle(9).G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Weight != 3 {
+		t.Fatalf("exact on C9 = %d, want 3", ex.Weight)
+	}
+}
+
+// TestCertifySurface exercises the certificate helpers and error paths.
+func TestCertifySurface(t *testing.T) {
+	w := arbods.ForestUnion(60, 2, 5)
+	rep, err := arbods.WeightedDeterministic(w.G, 2, 0.25, arbods.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := arbods.MembershipOf(rep)
+	x := arbods.PackingOf(rep)
+	if err := arbods.CheckCertificate(w.G, set, x, rep.Factor); err != nil {
+		t.Fatal(err)
+	}
+	// A sabotaged report must fail certification with a typed error.
+	bad := *rep
+	for v := range rep.Result.Outputs {
+		if rep.Result.Outputs[v].InDS {
+			outs := make([]arbods.NodeOutput, len(rep.Result.Outputs))
+			copy(outs, rep.Result.Outputs)
+			outs[v].InDS = false
+			res := *rep.Result
+			res.Outputs = outs
+			bad.Result = &res
+			break
+		}
+	}
+	err = arbods.Certify(w.G, &bad)
+	if err == nil {
+		t.Fatal("sabotaged report certified")
+	}
+	var ce *arbods.CertError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CertError, got %T", err)
+	}
+	if ce.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	// Wrong factor must fail at the ratio stage and unwrap cleanly.
+	if err := arbods.CheckCertificate(w.G, set, x, 0.0001); err == nil {
+		t.Fatal("absurd factor accepted")
+	}
+}
+
+// TestArboricitySurface exercises the orientation helpers.
+func TestArboricitySurface(t *testing.T) {
+	w := arbods.ForestUnion(60, 3, 7)
+	order, d := arbods.Degeneracy(w.G)
+	if len(order) != w.G.N() || d < 1 || d > 2*3-1 {
+		t.Fatalf("degeneracy order/%d malformed", d)
+	}
+	o := arbods.OrientGreedy(w.G)
+	if o.MaxOutDegree() > d {
+		t.Fatal("greedy orientation exceeds degeneracy")
+	}
+	lo, hi := arbods.ArboricityBounds(w.G)
+	if lo < 1 || hi < lo {
+		t.Fatalf("bounds [%d,%d]", lo, hi)
+	}
+	if arbods.MaxWeight <= 0 {
+		t.Fatal("MaxWeight must be positive")
+	}
+	if arbods.CertTolerance <= 0 {
+		t.Fatal("CertTolerance must be positive")
+	}
+}
