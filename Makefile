@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Engine-scale benchmarks (the million-node routing benchmark included).
+bench:
+	$(GO) test ./internal/congest/ -run 'xxx' -bench . -benchtime 1x
+
+# Machine-readable experiment record; commit one per milestone as
+# BENCH_$(shell date +%F)_small.json to extend the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/mdsbench -scale small -seed 1 -format json
+
+ci: build vet fmt-check race

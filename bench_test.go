@@ -106,7 +106,9 @@ func BenchmarkWeightedRandomized(b *testing.B) {
 }
 
 // BenchmarkEngineSequentialVsParallel quantifies the simulator's worker
-// scaling (ablation E9's engine dimension).
+// scaling (ablation E9's engine dimension) through a full algorithm run;
+// internal/congest's BenchmarkRunLarge measures the engine alone at
+// million-node scale.
 func BenchmarkEngineSequentialVsParallel(b *testing.B) {
 	w := arbods.ForestUnion(5000, 4, 1)
 	g := arbods.UniformWeights(w.G, 100, 2)

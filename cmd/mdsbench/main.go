@@ -1,9 +1,12 @@
 // Command mdsbench regenerates every experiment table of the paper
-// reproduction (E1…E10, see DESIGN.md §4) and prints them as markdown or
-// CSV. EXPERIMENTS.md is produced from this tool's output:
+// reproduction (E1…E10, see DESIGN.md §4) and prints them as markdown,
+// CSV, or a machine-readable JSON report. EXPERIMENTS.md is produced
+// from the markdown output; the committed BENCH_*.json trajectory files
+// are produced from the JSON output:
 //
 //	mdsbench -scale full -seed 1 > experiments.md
 //	mdsbench -only E1,E6 -format csv
+//	mdsbench -scale small -format json > BENCH_$(date +%F)_small.json
 package main
 
 import (
@@ -29,12 +32,17 @@ func run(args []string) error {
 		scale  = fs.String("scale", "small", "experiment scale: small or full")
 		seed   = fs.Uint64("seed", 1, "base random seed")
 		only   = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
-		format = fs.String("format", "md", "output format: md or csv")
+		format = fs.String("format", "md", "output format: md, csv, or json")
 		reps   = fs.Int("reps", 0, "repetitions for randomized algorithms (0 = scale default)")
 		list   = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "md", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want md, csv, or json)", *format)
 	}
 	if *list {
 		for _, e := range bench.All() {
@@ -59,6 +67,22 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
+	if *format == "json" {
+		rep, err := bench.RunJSON(cfg, wanted)
+		if err != nil {
+			return err
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mdsbench: %d experiment(s), scale=%s, seed=%d, %s\n",
+			len(rep.Experiments), *scale, *seed, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 	ran := 0
 	for _, e := range bench.All() {
 		if len(wanted) > 0 && !wanted[e.ID] {
@@ -75,8 +99,6 @@ func run(args []string) error {
 				fmt.Println(t.Markdown())
 			case "csv":
 				fmt.Printf("# %s — %s (%s)\n%s\n", t.ID, t.Title, t.PaperRef, t.CSV())
-			default:
-				return fmt.Errorf("unknown format %q (want md or csv)", *format)
 			}
 		}
 	}

@@ -1,0 +1,50 @@
+package arbods_test
+
+// Build-and-run smoke coverage for examples/: each example main must
+// keep compiling and exiting cleanly, so the six entry points named in
+// the documentation can never silently rot. The test shells out to the
+// go tool (examples are package main, unreachable from library tests).
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test shells out to the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) != 6 {
+		t.Fatalf("found %d example mains, want 6 (update this test when adding examples): %v",
+			len(mains), mains)
+	}
+	for _, main := range mains {
+		dir := filepath.Dir(main)
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goTool, "run", "./"+dir)
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go run ./%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module arbods
+
+go 1.24

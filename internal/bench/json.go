@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ReportSchema identifies the JSON benchmark record layout. Bump it when
+// the structure changes so trajectory tooling can keep reading old files.
+const ReportSchema = "arbods-bench/v1"
+
+// Report is the machine-readable record emitted by `mdsbench -format
+// json`. One BENCH_*.json per milestone is committed at the repository
+// root so the performance trajectory (wall time, allocations, and every
+// experiment table with its rounds/messages/bits columns) is recorded
+// PR over PR.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Scale       string             `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Reps        int                `json:"reps"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	WallMS      float64            `json:"wall_ms"`
+	Experiments []ExperimentRecord `json:"experiments"`
+}
+
+// ExperimentRecord is one experiment's tables plus its cost.
+type ExperimentRecord struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	WallMS     float64  `json:"wall_ms"`
+	Allocs     uint64   `json:"allocs"`
+	AllocBytes uint64   `json:"alloc_bytes"`
+	Tables     []*Table `json:"tables"`
+}
+
+// String names the scale the way the mdsbench -scale flag spells it.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "small"
+}
+
+// RunJSON executes the selected experiments (all when only is empty) and
+// collects a Report. Allocation figures come from runtime.MemStats deltas
+// around each experiment, so they include the simulator's per-run cost —
+// exactly the hot path the engine optimizations target.
+func RunJSON(cfg Config, only map[string]bool) (*Report, error) {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Scale:      cfg.Scale.String(),
+		Seed:       cfg.Seed,
+		Reps:       cfg.reps(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
+	for _, e := range All() {
+		if len(only) > 0 && !only[e.ID] {
+			continue
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		runtime.ReadMemStats(&after)
+		rep.Experiments = append(rep.Experiments, ExperimentRecord{
+			ID:         e.ID,
+			Name:       e.Name,
+			WallMS:     float64(time.Since(t0)) / float64(time.Millisecond),
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Tables:     tables,
+		})
+	}
+	if len(rep.Experiments) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return rep, nil
+}
+
+// JSON renders the report with stable indentation for committing.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

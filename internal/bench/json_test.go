@@ -1,0 +1,51 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"arbods/internal/bench"
+)
+
+// TestRunJSONReport checks the machine-readable report: selection,
+// per-experiment cost fields, and a loss-free JSON round trip of the
+// tables (the trajectory files diffed across PRs depend on this shape).
+func TestRunJSONReport(t *testing.T) {
+	rep, err := bench.RunJSON(bench.Config{Seed: 1, Scale: bench.Small},
+		map[string]bool{"E2": true, "E7": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != bench.ReportSchema || rep.Scale != "small" || rep.Seed != 1 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("want E2+E7, got %+v", rep.Experiments)
+	}
+	for _, e := range rep.Experiments {
+		if e.WallMS <= 0 || e.Allocs == 0 || len(e.Tables) == 0 {
+			t.Fatalf("experiment %s missing cost or tables: %+v", e.ID, e)
+		}
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bench.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != 2 || len(back.Experiments[0].Tables[0].Rows) !=
+		len(rep.Experiments[0].Tables[0].Rows) {
+		t.Fatal("JSON round trip lost table rows")
+	}
+}
+
+// TestRunJSONUnknownID: selecting only unknown IDs is an error, matching
+// the markdown path's behavior.
+func TestRunJSONUnknownID(t *testing.T) {
+	if _, err := bench.RunJSON(bench.Config{Seed: 1, Scale: bench.Small},
+		map[string]bool{"E99": true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

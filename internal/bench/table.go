@@ -16,20 +16,21 @@ import (
 	"strings"
 )
 
-// Table is one rendered experiment result.
+// Table is one rendered experiment result. The JSON tags define its
+// shape inside the `mdsbench -format json` report (see json.go).
 type Table struct {
 	// ID is the experiment identifier, e.g. "E1".
-	ID string
+	ID string `json:"id"`
 	// Title is a one-line description.
-	Title string
+	Title string `json:"title"`
 	// PaperRef names the table/figure/theorem being reproduced.
-	PaperRef string
+	PaperRef string `json:"paper_ref"`
 	// Columns holds the header cells.
-	Columns []string
+	Columns []string `json:"columns"`
 	// Rows holds the data cells (each row len == len(Columns)).
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes are free-form footnotes (substitutions, caveats).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row, padding or truncating to the column count.

@@ -1,0 +1,78 @@
+package congest_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+)
+
+// largeGraph caches the million-node benchmark instance across
+// sub-benchmarks (generation itself takes seconds at this size).
+var largeGraph *graph.Graph
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	if largeGraph == nil || largeGraph.N() != n {
+		largeGraph = gen.ErdosRenyi(n, 4/float64(n), 1).G
+	}
+	return largeGraph
+}
+
+// BenchmarkRunLarge drives the engine end to end on a million-node
+// sparse random graph (avg degree ≈ 4, ≈ 2·10⁶ edges): three rounds of
+// broadcast traffic, ≈ 12·10⁶ routed messages per run. workers=1 is the
+// sequential engine; the other sub-benchmarks exercise the sharded
+// parallel routing path. Allocation counts are the headline: routing is
+// scratch-reuse only, so allocs/op stays flat in the message volume.
+func BenchmarkRunLarge(b *testing.B) {
+	g := benchGraph(b, 1_000_000)
+	factory := func(ni congest.NodeInfo) congest.Proc[int64] {
+		return &echoProc{ni: ni, rounds: 2}
+	}
+	workerCounts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := congest.Run(g, factory,
+					congest.WithSeed(1), congest.WithWorkers(w), congest.WithMode(congest.Local))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Messages == 0 {
+					b.Fatal("no traffic routed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteOnly isolates the routing phase: one round in which
+// every node broadcasts once, so step work is negligible next to the
+// 2m ≈ 4·10⁶ message deliveries.
+func BenchmarkRouteOnly(b *testing.B) {
+	g := benchGraph(b, 1_000_000)
+	factory := func(ni congest.NodeInfo) congest.Proc[int64] {
+		return &echoProc{ni: ni, rounds: 1}
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := congest.Run(g, factory,
+					congest.WithSeed(1), congest.WithWorkers(w), congest.WithMode(congest.Local)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

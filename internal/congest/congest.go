@@ -26,7 +26,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
-	"sync"
 
 	"arbods/internal/graph"
 	"arbods/internal/rng"
@@ -251,7 +250,8 @@ func (s *Sender) isNeighbor(v int) bool {
 }
 
 // Run executes the algorithm built by factory on g and returns the outputs
-// and transcript statistics.
+// and transcript statistics. The transcript is bit-identical for every
+// worker count: see engine.go for the phase structure that guarantees it.
 func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O], error) {
 	cfg := config{
 		mode:      Congest,
@@ -264,180 +264,9 @@ func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O],
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
-	n := g.N()
-	budget := 0
-	if cfg.mode != Local {
-		budget = cfg.bandwidth
-		if budget == 0 {
-			budget = DefaultBandwidth(n)
-		}
-	}
-
-	procs := make([]Proc[O], n)
-	senders := make([]Sender, n)
-	for v := 0; v < n; v++ {
-		ni := NodeInfo{
-			ID:        v,
-			Neighbors: g.Neighbors(v),
-			Weight:    g.Weight(v),
-			N:         n,
-			Rand:      rng.ForNode(cfg.seed, v),
-		}
-		if cfg.maxDegree {
-			ni.MaxDegree = g.MaxDegree()
-		}
-		if cfg.arboricity > 0 {
-			ni.Arboricity = cfg.arboricity
-		}
-		procs[v] = factory(ni)
-		senders[v] = Sender{owner: v, neighbors: g.Neighbors(v)}
-	}
-
-	res := &Result[O]{Bandwidth: budget}
-	done := make([]bool, n)
-	inbox := make([][]Incoming, n)
-	next := make([][]Incoming, n)
-	activeCount := n
-
-	// edgeBits accumulates per-receiver bit counts within a round; keyed by
-	// (from, to) it would be a map per round — instead we charge each
-	// directed edge at routing time, aggregating per (sender, receiver) pair
-	// as messages from one sender to one receiver are adjacent in its outbox
-	// only if sent consecutively; we sum explicitly below.
-
-	for round := 0; ; round++ {
-		if activeCount == 0 {
-			break
-		}
-		if round >= cfg.maxRounds {
-			return nil, fmt.Errorf("congest: exceeded max rounds (%d) with %d active nodes", cfg.maxRounds, activeCount)
-		}
-
-		// Step all active nodes, possibly in parallel. Each node touches
-		// only its own proc, inbox, and sender, so this is race-free.
-		step := func(v int) {
-			if done[v] {
-				return
-			}
-			s := &senders[v]
-			s.out = s.out[:0]
-			if procs[v].Step(round, inbox[v], s) {
-				done[v] = true
-			}
-		}
-		if cfg.workers == 1 || n < 64 {
-			for v := 0; v < n; v++ {
-				step(v)
-			}
-		} else {
-			var wg sync.WaitGroup
-			chunk := (n + cfg.workers - 1) / cfg.workers
-			for w := 0; w < cfg.workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for v := lo; v < hi; v++ {
-						step(v)
-					}
-				}(lo, hi)
-			}
-			wg.Wait()
-		}
-
-		// Collect errors and recount active nodes.
-		activeCount = 0
-		for v := 0; v < n; v++ {
-			if senders[v].err != nil {
-				return nil, senders[v].err
-			}
-			if !done[v] {
-				activeCount++
-			}
-		}
-
-		// Route messages: deterministic because we iterate senders in ID
-		// order and each outbox preserves send order, so every inbox ends up
-		// sorted by (sender, send index).
-		var roundMsgs, roundBits int64
-		inflight := 0
-		for v := 0; v < n; v++ {
-			out := senders[v].out
-			if len(out) == 0 {
-				continue
-			}
-			// Per-receiver bit accounting: messages to the same neighbor in
-			// the same round share one B-bit message slot, so their sizes
-			// add up against the budget.
-			bitsTo := make(map[int]int, len(out))
-			for _, m := range out {
-				bitsTo[m.From] += m.Msg.Bits()
-			}
-			for to, sum := range bitsTo {
-				if sum > res.MaxEdgeBits {
-					res.MaxEdgeBits = sum
-				}
-				if budget > 0 && sum > budget {
-					if cfg.mode == Congest {
-						return nil, &BandwidthError{Round: round, From: v, To: to, Bits: sum, Budget: budget}
-					}
-					res.BandwidthViolations++
-				}
-			}
-			for _, m := range out {
-				to := m.From
-				roundMsgs++
-				roundBits += int64(m.Msg.Bits())
-				if cfg.msgStats {
-					if res.MessageStats == nil {
-						res.MessageStats = make(map[string]MessageStat)
-					}
-					key := fmt.Sprintf("%T", m.Msg)
-					st := res.MessageStats[key]
-					st.Count++
-					st.Bits += int64(m.Msg.Bits())
-					res.MessageStats[key] = st
-				}
-				if done[to] {
-					res.DroppedMessages++
-					continue
-				}
-				next[to] = append(next[to], Incoming{From: v, Msg: m.Msg})
-				inflight++
-			}
-		}
-		res.Messages += roundMsgs
-		res.TotalBits += roundBits
-		if cfg.roundStats {
-			res.RoundStats = append(res.RoundStats, RoundStat{
-				Round: round, Messages: roundMsgs, Bits: roundBits, ActiveNodes: activeCount,
-			})
-		}
-		res.Rounds = round + 1
-
-		// Swap inboxes.
-		for v := 0; v < n; v++ {
-			inbox[v] = inbox[v][:0]
-		}
-		inbox, next = next, inbox
-
-		if activeCount == 0 && inflight > 0 {
-			// Messages to terminated nodes only; they were dropped above.
-			break
-		}
-	}
-
-	res.Outputs = make([]O, n)
-	for v := 0; v < n; v++ {
-		res.Outputs[v] = procs[v].Output()
-	}
-	return res, nil
+	e := newEngine(g, factory, cfg)
+	defer e.close()
+	return e.run()
 }
 
 // ErrNotRun is returned by helpers that require a completed run.

@@ -1,0 +1,144 @@
+package congest_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+	"arbods/internal/graph"
+)
+
+// tokenMsg is a second message type so MessageStats has >1 key.
+type tokenMsg struct{ hops int32 }
+
+func (m tokenMsg) Bits() int { return congest.MsgTagBits + congest.BitsInt(int64(m.hops)) }
+
+// chatterProc exercises every transcript dimension at once: staggered
+// termination (drops), two message types (message stats), random
+// payloads (seed plumbing), multiple messages per edge per round
+// (aggregated edge accounting / audit violations), and a final
+// send-and-terminate farewell.
+type chatterProc struct {
+	ni     congest.NodeInfo
+	rounds int
+	sum    int64
+}
+
+func (p *chatterProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	for _, m := range in {
+		switch mm := m.Msg.(type) {
+		case pingMsg:
+			p.sum += mm.payload
+		case tokenMsg:
+			p.sum += int64(mm.hops)
+		}
+	}
+	if round >= p.rounds {
+		if d := p.ni.Degree(); d > 0 {
+			s.Send(int(p.ni.Neighbors[p.ni.Rand.Intn(d)]), tokenMsg{hops: int32(round)})
+		}
+		return true
+	}
+	s.Broadcast(pingMsg{payload: int64(p.ni.Rand.Intn(1000))})
+	if p.ni.Degree() > 0 && p.ni.Rand.Bernoulli(0.3) {
+		s.Send(int(p.ni.Neighbors[0]), tokenMsg{hops: int32(round)})
+	}
+	return false
+}
+
+func (p *chatterProc) Output() int64 { return p.sum }
+
+// TestWorkerCountInvariance: the sequential engine and the sharded
+// parallel engine must produce identical Results — outputs, totals,
+// per-round stats, and per-type message stats — on a batch of graphs.
+func TestWorkerCountInvariance(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle":        gen.Cycle(100).G,
+		"star":         gen.Star(200).G,
+		"grid":         gen.Grid(20, 25).G,
+		"forest-union": gen.ForestUnion(400, 3, 11).G,
+		"erdos-renyi":  gen.ErdosRenyi(500, 0.01, 12).G,
+		"barabasi":     gen.BarabasiAlbert(300, 3, 13).G,
+		"random-tree":  gen.RandomTree(257, 14).G,
+		"hypercube":    gen.Hypercube(7).G,
+	}
+	factory := func(ni congest.NodeInfo) congest.Proc[int64] {
+		return &chatterProc{ni: ni, rounds: ni.ID%5 + 1}
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) *congest.Result[int64] {
+				res, err := congest.Run(g, factory,
+					congest.WithSeed(42),
+					congest.WithWorkers(workers),
+					congest.WithMode(congest.CongestAudit),
+					congest.WithBandwidth(20), // tight: ping+token on one edge violates
+					congest.WithRoundStats(),
+					congest.WithMessageStats(),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(1)
+			if seq.DroppedMessages == 0 {
+				t.Error("scenario exercises no drops — weaken it and the test proves less")
+			}
+			if seq.BandwidthViolations == 0 {
+				t.Error("scenario exercises no audit violations")
+			}
+			if len(seq.MessageStats) != 2 {
+				t.Errorf("want 2 message types, got %v", seq.MessageStats)
+			}
+			for _, workers := range []int{2, 3, 8, runtime.GOMAXPROCS(0) + 1} {
+				par := run(workers)
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("workers=%d diverges from sequential:\nseq: %+v\npar: %+v", workers, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// farewellProc (node 0) sends in the same Step that terminates it; the
+// counterpart (node 1) stays alive for a few rounds counting arrivals.
+type farewellProc struct {
+	ni    congest.NodeInfo
+	heard int
+}
+
+func (p *farewellProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	p.heard += len(in)
+	if p.ni.ID == 0 {
+		if round == 0 {
+			s.Send(1, pingMsg{payload: 7})
+		}
+		return true
+	}
+	return round >= 3
+}
+
+func (p *farewellProc) Output() int { return p.heard }
+
+// TestSendAndTerminateDeliversOnce: messages sent in a node's final Step
+// are delivered exactly once. (Regression: the seed engine skipped
+// stepping terminated nodes without truncating their outboxes, so a
+// send-and-terminate outbox was re-routed every remaining round.)
+func TestSendAndTerminateDeliversOnce(t *testing.T) {
+	g := gen.Path(2).G
+	res, err := congest.Run(g, func(ni congest.NodeInfo) congest.Proc[int] {
+		return &farewellProc{ni: ni}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != 1 {
+		t.Fatalf("node 1 heard the farewell %d times, want exactly 1", res.Outputs[1])
+	}
+	if res.Messages != 1 {
+		t.Fatalf("transcript counts %d messages, want 1", res.Messages)
+	}
+}

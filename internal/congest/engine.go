@@ -1,0 +1,222 @@
+package congest
+
+import (
+	"fmt"
+
+	"arbods/internal/graph"
+	"arbods/internal/rng"
+)
+
+// parallelStepMin is the node count below which the engine stays
+// sequential regardless of the configured worker count: for tiny graphs
+// the barrier cost dwarfs the per-node work.
+const parallelStepMin = 64
+
+// engine holds one run's state, shared by the sequential and parallel
+// paths. The round loop alternates two phases with a barrier between:
+//
+//   - step: workers step disjoint node ranges (each node touches only
+//     its own proc, inbox and sender, so shards race on nothing);
+//   - route: workers own disjoint contiguous *receiver* ranges and drain
+//     every sender's outbox for their range, so every inbox is written
+//     by exactly one worker and — because senders are drained in ID
+//     order and outboxes preserve send order — ends up ordered by
+//     (sender ID, send index), exactly the sequential engine's order.
+//
+// All scratch (outboxes, inboxes, edge-bit accounting, worker
+// goroutines) is allocated once per run and reused across rounds.
+type engine[O any] struct {
+	cfg    config
+	budget int
+	n      int
+	round  int
+
+	procs   []Proc[O]
+	senders []Sender
+	done    []bool
+	inbox   [][]Incoming
+	next    [][]Incoming
+
+	res *Result[O]
+
+	pool      *pool // nil when running sequentially
+	steps     []stepShard
+	routes    []routeShard
+	stepTask  func(w int)
+	routeTask func(w int)
+}
+
+func newEngine[O any](g *graph.Graph, factory Factory[O], cfg config) *engine[O] {
+	n := g.N()
+	e := &engine[O]{cfg: cfg, n: n}
+	if cfg.mode != Local {
+		e.budget = cfg.bandwidth
+		if e.budget == 0 {
+			e.budget = DefaultBandwidth(n)
+		}
+	}
+
+	e.procs = make([]Proc[O], n)
+	e.senders = make([]Sender, n)
+	for v := 0; v < n; v++ {
+		ni := NodeInfo{
+			ID:        v,
+			Neighbors: g.Neighbors(v),
+			Weight:    g.Weight(v),
+			N:         n,
+			Rand:      rng.ForNode(cfg.seed, v),
+		}
+		if cfg.maxDegree {
+			ni.MaxDegree = g.MaxDegree()
+		}
+		if cfg.arboricity > 0 {
+			ni.Arboricity = cfg.arboricity
+		}
+		e.procs[v] = factory(ni)
+		e.senders[v] = Sender{owner: v, neighbors: g.Neighbors(v)}
+	}
+
+	e.res = &Result[O]{Bandwidth: e.budget}
+	e.done = make([]bool, n)
+	e.inbox = make([][]Incoming, n)
+	e.next = make([][]Incoming, n)
+
+	workers := cfg.workers
+	if workers > n {
+		workers = n
+	}
+	if n < parallelStepMin || workers < 1 {
+		workers = 1
+	}
+	e.steps = make([]stepShard, workers)
+	e.routes = make([]routeShard, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		e.steps[w] = stepShard{lo: lo, hi: hi}
+		rs := &e.routes[w]
+		rs.lo, rs.hi = lo, hi
+		rs.edgeBits = make([]int64, hi-lo)
+		rs.stamp = make([]uint64, hi-lo)
+		rs.touched = make([]int32, hi-lo)
+		rs.senderGen = 1 // stamp's zero value must mean "never touched"
+	}
+	if workers > 1 {
+		e.pool = newPool(workers)
+	}
+	e.stepTask = e.stepRange
+	e.routeTask = e.routeRange
+	return e
+}
+
+// close releases the worker pool. The engine must be idle.
+func (e *engine[O]) close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
+
+// dispatch runs a phase task on every worker (inline when sequential).
+func (e *engine[O]) dispatch(task func(w int)) {
+	if e.pool == nil {
+		task(0)
+		return
+	}
+	e.pool.run(task)
+}
+
+func (e *engine[O]) run() (*Result[O], error) {
+	activeCount := e.n
+	for round := 0; ; round++ {
+		if activeCount == 0 {
+			break
+		}
+		if round >= e.cfg.maxRounds {
+			return nil, fmt.Errorf("congest: exceeded max rounds (%d) with %d active nodes", e.cfg.maxRounds, activeCount)
+		}
+		e.round = round
+
+		e.dispatch(e.stepTask)
+		activeCount = 0
+		for w := range e.steps {
+			s := &e.steps[w]
+			if s.err != nil {
+				// Shards cover ascending node ranges and each records its
+				// lowest-ID error, so the first one wins deterministically.
+				return nil, s.err
+			}
+			activeCount += s.active
+		}
+
+		e.dispatch(e.routeTask)
+		var roundMsgs, roundBits, inflight int64
+		var rerr *BandwidthError
+		for w := range e.routes {
+			s := &e.routes[w]
+			roundMsgs += s.msgs
+			roundBits += s.bits
+			inflight += s.inflight
+			if s.err != nil && (rerr == nil || s.err.From < rerr.From ||
+				(s.err.From == rerr.From && s.err.To < rerr.To)) {
+				rerr = s.err
+			}
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+
+		e.res.Messages += roundMsgs
+		e.res.TotalBits += roundBits
+		if e.cfg.roundStats {
+			e.res.RoundStats = append(e.res.RoundStats, RoundStat{
+				Round: round, Messages: roundMsgs, Bits: roundBits, ActiveNodes: activeCount,
+			})
+		}
+		e.res.Rounds = round + 1
+
+		// Swap inboxes; route workers truncate their receivers' next-round
+		// inboxes in place, so the backing arrays are reused across rounds.
+		e.inbox, e.next = e.next, e.inbox
+
+		if activeCount == 0 && inflight > 0 {
+			// Messages to terminated nodes only; they were dropped above.
+			break
+		}
+	}
+	return e.finish(), nil
+}
+
+// finish merges the per-run shard accumulators and collects outputs.
+func (e *engine[O]) finish() *Result[O] {
+	res := e.res
+	for w := range e.routes {
+		s := &e.routes[w]
+		res.DroppedMessages += s.dropped
+		res.BandwidthViolations += s.violations
+		if s.maxEdgeBits > res.MaxEdgeBits {
+			res.MaxEdgeBits = s.maxEdgeBits
+		}
+		for t, st := range s.stats {
+			if res.MessageStats == nil {
+				res.MessageStats = make(map[string]MessageStat, len(s.stats))
+			}
+			// One String() per message *type* per shard replaces the old
+			// engine's fmt.Sprintf("%T", …) per message.
+			agg := res.MessageStats[t.String()]
+			agg.Count += st.Count
+			agg.Bits += st.Bits
+			res.MessageStats[t.String()] = agg
+		}
+	}
+	res.Outputs = make([]O, e.n)
+	for v := range e.procs {
+		res.Outputs[v] = e.procs[v].Output()
+	}
+	return res
+}

@@ -1,0 +1,51 @@
+package congest
+
+import "sync"
+
+// pool is a set of long-lived worker goroutines, one per engine worker.
+// The engine dispatches one task per worker per phase (step, then route)
+// and waits on a shared WaitGroup; workers park on their signal channel
+// between phases instead of being respawned every round, which removes
+// the per-round goroutine create/destroy cost the old engine paid.
+type pool struct {
+	task  func(w int)     // current phase task; published by the channel sends
+	start []chan struct{} // one signal channel per worker
+	wg    sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{start: make([]chan struct{}, workers)}
+	for i := range p.start {
+		ch := make(chan struct{}, 1)
+		p.start[i] = ch
+		go p.worker(i, ch)
+	}
+	return p
+}
+
+func (p *pool) worker(i int, ch chan struct{}) {
+	for range ch {
+		p.task(i)
+		p.wg.Done()
+	}
+}
+
+// run executes task(w) on every worker and returns when all are done.
+// Writing p.task before the channel sends gives each worker a
+// happens-before edge to the new task, so run needs no extra locking;
+// passing pre-built method values keeps the round loop allocation-free.
+func (p *pool) run(task func(w int)) {
+	p.task = task
+	p.wg.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// close terminates the workers. The pool must be idle.
+func (p *pool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

@@ -1,0 +1,113 @@
+package congest
+
+import "reflect"
+
+// routeShard is one worker's receiver range plus its routing scratch and
+// accumulators. The scratch arrays are indexed by (receiver − lo) and
+// reused across senders and rounds; stamp marks which entries belong to
+// the sender currently being drained, so nothing is ever cleared — the
+// per-sender `make(map[int]int)` of the old engine is gone entirely.
+type routeShard struct {
+	lo, hi int // receiver range [lo, hi)
+
+	// per-(sender, receiver) edge-bit accounting scratch
+	edgeBits  []int64
+	stamp     []uint64
+	touched   []int32
+	senderGen uint64
+
+	// per-round results, reset by routeRange
+	msgs, bits, inflight int64
+	err                  *BandwidthError // strict mode: (min sender, then min receiver)
+
+	// per-run accumulators, merged by finish
+	dropped     int64
+	violations  int64
+	maxEdgeBits int
+	stats       map[reflect.Type]MessageStat
+}
+
+// routeRange drains every sender's outbox for shard w's receiver range.
+// Senders are scanned in ID order and outboxes preserve send order, so
+// each inbox fills in (sender ID, send index) order — bit-identical to
+// the sequential engine for any worker count.
+func (e *engine[O]) routeRange(w int) {
+	s := &e.routes[w]
+	lo, hi := s.lo, s.hi
+	for to := lo; to < hi; to++ {
+		e.next[to] = e.next[to][:0]
+	}
+	s.msgs, s.bits, s.inflight, s.err = 0, 0, 0, nil
+
+	strict := e.cfg.mode == Congest
+	budget := e.budget
+	msgStats := e.cfg.msgStats
+	var msgs, bits, inflight int64
+	for v := 0; v < e.n; v++ {
+		out := e.senders[v].out
+		if len(out) == 0 {
+			continue
+		}
+		gen := s.senderGen
+		s.senderGen++
+		nt := 0 // receivers this sender touched in range, in send order
+		for i := range out {
+			to := out[i].From // destination, stashed in From until routed
+			if to < lo || to >= hi {
+				continue
+			}
+			m := out[i].Msg
+			mb := m.Bits()
+			idx := to - lo
+			if s.stamp[idx] != gen {
+				s.stamp[idx] = gen
+				s.edgeBits[idx] = 0
+				s.touched[nt] = int32(to)
+				nt++
+			}
+			s.edgeBits[idx] += int64(mb)
+			msgs++
+			bits += int64(mb)
+			if msgStats {
+				if s.stats == nil {
+					s.stats = make(map[reflect.Type]MessageStat)
+				}
+				t := reflect.TypeOf(m)
+				st := s.stats[t]
+				st.Count++
+				st.Bits += int64(mb)
+				s.stats[t] = st
+			}
+			if e.done[to] {
+				s.dropped++
+				continue
+			}
+			e.next[to] = append(e.next[to], Incoming{From: v, Msg: m})
+			inflight++
+		}
+		// Budget applies per directed edge (v, to): messages to the same
+		// neighbor in one round share one B-bit slot, so their sizes sum.
+		for i := 0; i < nt; i++ {
+			to := int(s.touched[i])
+			sum := s.edgeBits[to-lo]
+			if int(sum) > s.maxEdgeBits {
+				s.maxEdgeBits = int(sum)
+			}
+			if budget > 0 && sum > int64(budget) {
+				if strict {
+					if s.err == nil || to < s.err.To {
+						s.err = &BandwidthError{Round: e.round, From: v, To: to, Bits: int(sum), Budget: budget}
+					}
+				} else {
+					s.violations++
+				}
+			}
+		}
+		if s.err != nil {
+			// First violating sender found (senders scanned in ID order);
+			// the run is about to abort, so stop draining.
+			return
+		}
+	}
+	s.msgs, s.bits, s.inflight = msgs, bits, inflight
+}

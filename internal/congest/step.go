@@ -1,0 +1,34 @@
+package congest
+
+// stepShard is one worker's node range plus its per-round step results.
+type stepShard struct {
+	lo, hi int
+	active int   // nodes in range still running after this round
+	err    error // first Sender error in range (lowest node ID)
+}
+
+// stepRange steps every node in shard w's range. Each node touches only
+// its own proc, inbox and sender, so shards are race-free.
+func (e *engine[O]) stepRange(w int) {
+	s := &e.steps[w]
+	s.active = 0
+	round := e.round
+	for v := s.lo; v < s.hi; v++ {
+		snd := &e.senders[v]
+		// Truncate the outbox even for terminated nodes: a node's final
+		// messages are routed the round it finishes, and the router scans
+		// every outbox every round, so a stale outbox would re-deliver.
+		snd.out = snd.out[:0]
+		if e.done[v] {
+			continue
+		}
+		if e.procs[v].Step(round, e.inbox[v], snd) {
+			e.done[v] = true
+		} else {
+			s.active++
+		}
+		if snd.err != nil && s.err == nil {
+			s.err = snd.err
+		}
+	}
+}
