@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,22 @@ bench:
 # BENCH_$(shell date +%F)_small.json to extend the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/mdsbench -scale small -seed 1 -format json
+
+# Compare two committed engine-benchmark records (benchstat format). The
+# defaults pin the PR 1 interface-message engine against the PR 3 packed
+# wire-word engine; override with BENCH_OLD=/BENCH_NEW= to compare other
+# points on the trajectory. Uses benchstat when available (CI installs
+# it); falls back to printing both records side by side offline.
+BENCH_OLD ?= BENCH_2026-07-29_engine_pr1.txt
+BENCH_NEW ?= BENCH_2026-07-29_engine_pr3.txt
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_OLD) $(BENCH_NEW); \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
+		echo "raw records:"; \
+		echo "--- $(BENCH_OLD)"; grep Benchmark $(BENCH_OLD); \
+		echo "--- $(BENCH_NEW)"; grep Benchmark $(BENCH_NEW); \
+	fi
 
 ci: build vet fmt-check race

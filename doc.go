@@ -40,8 +40,12 @@
 //
 // Algorithms execute on a simulated synchronous network whose topology is
 // the input graph (the CONGEST model of the paper's Section 2). The
-// simulator enforces the O(log n)-bit message bound — every message type
-// accounts its size in bits and Strict mode fails the run on a violation —
-// and reports rounds, message and bit counts. Runs are deterministic given
-// WithSeed, independent of WithWorkers.
+// simulator enforces the O(log n)-bit message bound — messages are packed
+// wire words (a 4-bit tag plus at most two uint64 payload words) whose bit
+// cost is fixed at pack time from per-field accounting, and Strict mode
+// fails the run on a budget violation — and reports rounds, message and
+// bit counts. Message delivery uses a reverse-edge index precomputed at
+// graph build time, so the hot path does no searching, boxing, or
+// reflection. Runs are deterministic given WithSeed, independent of
+// WithWorkers.
 package arbods

@@ -3,25 +3,11 @@ package baseline
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"arbods/internal/congest"
 	"arbods/internal/graph"
 	"arbods/internal/mds"
 )
-
-// xMsg announces the sender's new fractional value x = (Δ+1)^{-m/k}
-// (encoded by the exponent index m, so the message is O(log k) bits).
-type xMsg struct {
-	m int32
-}
-
-func (m xMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.m)+1) }
-
-// fcovMsg announces that the sender became fractionally covered.
-type fcovMsg struct{}
-
-func (fcovMsg) Bits() int { return congest.MsgTagBits }
 
 // kwProc implements the Kuhn–Wattenhofer '05-style O(k²)-round fractional
 // dominating set algorithm with randomized rounding — the general-graph
@@ -60,12 +46,6 @@ type kwProc struct {
 
 var _ congest.Proc[mds.Output] = (*kwProc)(nil)
 
-func (p *kwProc) idx(id int) int {
-	nb := p.ni.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 func (p *kwProc) value(m int) float64 {
 	return math.Pow(float64(p.ni.MaxDegree+1), -float64(m)/float64(p.k))
 }
@@ -99,15 +79,15 @@ func (p *kwProc) fracSum() float64 {
 
 func (p *kwProc) absorb(in []congest.Incoming) {
 	for _, msg := range in {
-		i := p.idx(msg.From)
-		switch mm := msg.Msg.(type) {
-		case xMsg:
-			if v := p.value(int(mm.m)); v > p.nbrX[i] {
+		i := msg.Idx
+		switch msg.P.Tag {
+		case congest.TagFracX:
+			if v := p.value(int(fracXFields(msg.P))); v > p.nbrX[i] {
 				p.nbrX[i] = v
 			}
-		case fcovMsg:
+		case congest.TagFracCovered:
 			p.nbrFCov[i] = true
-		case joinMsg:
+		case congest.TagJoin:
 			p.nbrFCov[i] = true
 			p.dominated = true
 		}
@@ -122,7 +102,7 @@ func (p *kwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 			if v := p.value(p.m); v > p.x {
 				p.x = v
 				p.mIdx = p.m
-				s.Broadcast(xMsg{m: int32(p.m)})
+				s.Broadcast(packFracX(int32(p.m)))
 			}
 		}
 		p.stage = 1
@@ -134,7 +114,7 @@ func (p *kwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		}
 		if p.fCovered && !p.fCovSent {
 			p.fCovSent = true
-			s.Broadcast(fcovMsg{})
+			s.Broadcast(packFracCovered())
 		}
 		// Advance the (l, m) sweep.
 		p.m--
@@ -154,7 +134,7 @@ func (p *kwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		if p.ni.Rand.Bernoulli(prob) {
 			p.inDS = true
 			p.dominated = true
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		p.stage = 3
 		return false

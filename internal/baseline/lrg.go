@@ -9,26 +9,6 @@ import (
 	"arbods/internal/mds"
 )
 
-// maxMsg relays the largest rounded span seen in the sender's closed
-// neighborhood (distance-2 aggregation for LRG candidacy).
-type maxMsg struct {
-	dhat int32
-}
-
-func (m maxMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.dhat)) }
-
-type candMsg struct{}
-
-func (candMsg) Bits() int { return congest.MsgTagBits }
-
-// supportMsg carries an uncovered node's support: the number of candidates
-// able to cover it.
-type supportMsg struct {
-	s int32
-}
-
-func (m supportMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.s)) }
-
 // lrgProc implements the local randomized greedy (LRG) scheme of
 // Jia–Rajaraman–Suel (DISC'01), the classic randomized distributed
 // dominating set baseline with an O(log Δ) expected approximation:
@@ -62,12 +42,6 @@ type lrgProc struct {
 
 var _ congest.Proc[mds.Output] = (*lrgProc)(nil)
 
-func (p *lrgProc) idx(id int) int {
-	nb := p.ni.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 func (p *lrgProc) computeSpan() int {
 	s := 0
 	if !p.covered {
@@ -96,14 +70,14 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 	switch p.st {
 	case 0: // status: absorb joins from the previous iteration, report span
 		for _, m := range in {
-			if _, ok := m.Msg.(joinMsg); ok {
-				p.nbrCov[p.idx(m.From)] = true
+			if m.P.Tag == congest.TagJoin {
+				p.nbrCov[m.Idx] = true
 				p.covered = true
 			}
 		}
 		p.span = p.computeSpan()
 		p.dhat = roundPow2(p.span)
-		s.Broadcast(spanMsg{covered: p.covered, span: int32(p.span)})
+		s.Broadcast(packSpan(p.covered, int32(p.span)))
 		p.st = 1
 		return false
 
@@ -112,10 +86,11 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 			p.statusSpan[i] = 0 // silent neighbors have terminated with span 0
 		}
 		for _, m := range in {
-			if sm, ok := m.Msg.(spanMsg); ok {
-				i := p.idx(m.From)
-				p.statusSpan[i] = sm.span
-				if sm.covered {
+			if m.P.Tag == congest.TagSpan {
+				covered, span := spanFields(m.P)
+				i := m.Idx
+				p.statusSpan[i] = span
+				if covered {
 					p.nbrCov[i] = true
 				}
 			}
@@ -140,20 +115,22 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 				p.m1 = d
 			}
 		}
-		s.Broadcast(maxMsg{dhat: p.m1})
+		s.Broadcast(packMaxSpan(p.m1))
 		p.st = 2
 		return false
 
 	case 2: // candidacy: d̂ maximal within distance 2
 		m2 := p.m1
 		for _, m := range in {
-			if mm, ok := m.Msg.(maxMsg); ok && mm.dhat > m2 {
-				m2 = mm.dhat
+			if m.P.Tag == congest.TagMaxSpan {
+				if d := maxSpanFields(m.P); d > m2 {
+					m2 = d
+				}
 			}
 		}
 		p.candidate = p.span > 0 && p.dhat == m2
 		if p.candidate {
-			s.Broadcast(candMsg{})
+			s.Broadcast(packCandidate())
 		}
 		p.st = 3
 		return false
@@ -164,13 +141,13 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 			sup = 1
 		}
 		for _, m := range in {
-			if _, ok := m.Msg.(candMsg); ok {
+			if m.P.Tag == congest.TagCandidate {
 				sup++
 			}
 		}
 		p.selfSup = sup
 		if !p.covered && sup > 0 {
-			s.Broadcast(supportMsg{s: sup})
+			s.Broadcast(packSupport(sup))
 		}
 		p.st = 4
 		return false
@@ -178,8 +155,8 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 	default: // join: candidates sample with probability 1/median(support)
 		p.supports = p.supports[:0]
 		for _, m := range in {
-			if sm, ok := m.Msg.(supportMsg); ok {
-				p.supports = append(p.supports, sm.s)
+			if m.P.Tag == congest.TagSupport {
+				p.supports = append(p.supports, supportFields(m.P))
 			}
 		}
 		if !p.covered && p.selfSup > 0 {
@@ -194,7 +171,7 @@ func (p *lrgProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool
 			if p.ni.Rand.Bernoulli(1 / float64(med)) {
 				p.inDS = true
 				p.covered = true
-				s.Broadcast(joinMsg{})
+				s.Broadcast(packJoin())
 			}
 		}
 		p.st = 0

@@ -2,30 +2,11 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"arbods/internal/congest"
 	"arbods/internal/graph"
 	"arbods/internal/mds"
 )
-
-// spanMsg carries coverage status updates for the distributed baselines.
-type spanMsg struct {
-	covered bool
-	span    int32
-}
-
-func (m spanMsg) Bits() int {
-	return congest.MsgTagBits + 1 + congest.BitsUint(uint64(m.span))
-}
-
-type joinMsg struct{}
-
-func (joinMsg) Bits() int { return congest.MsgTagBits }
-
-type coveredMsg struct{}
-
-func (coveredMsg) Bits() int { return congest.MsgTagBits }
 
 // lwProc implements the Lenzen–Wattenhofer-style deterministic bucket
 // greedy for unweighted MDS: for thresholds θ = 2^i, i = ⌈log₂(Δ+1)⌉ down
@@ -47,12 +28,6 @@ type lwProc struct {
 
 var _ congest.Proc[mds.Output] = (*lwProc)(nil)
 
-func (p *lwProc) idx(id int) int {
-	nb := p.ni.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 func (p *lwProc) span() int {
 	s := 0
 	if !p.covered {
@@ -71,14 +46,14 @@ func (p *lwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		// Join half: absorb coverage updates from the previous phase, then
 		// join if span ≥ 2^phase.
 		for _, m := range in {
-			if _, ok := m.Msg.(coveredMsg); ok {
-				p.nbrCov[p.idx(m.From)] = true
+			if m.P.Tag == congest.TagCovered {
+				p.nbrCov[m.Idx] = true
 			}
 		}
 		if !p.inDS && p.span() >= 1<<uint(p.phase) {
 			p.inDS = true
 			p.covered = true // a member dominates itself; joinMsg tells neighbors
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		p.inJoin = false
 		return false
@@ -86,8 +61,8 @@ func (p *lwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 	// Update half: absorb joins, announce new coverage.
 	newlyCovered := false
 	for _, m := range in {
-		if _, ok := m.Msg.(joinMsg); ok {
-			p.nbrCov[p.idx(m.From)] = true
+		if m.P.Tag == congest.TagJoin {
+			p.nbrCov[m.Idx] = true
 			if !p.covered {
 				p.covered = true
 				newlyCovered = true
@@ -95,7 +70,7 @@ func (p *lwProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		}
 	}
 	if newlyCovered {
-		s.Broadcast(coveredMsg{})
+		s.Broadcast(packCovered())
 	}
 	p.inJoin = true
 	p.phase--

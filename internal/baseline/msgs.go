@@ -1,0 +1,75 @@
+package baseline
+
+import "arbods/internal/congest"
+
+// Wire-word pack/decode helpers for the distributed baselines. Each pack
+// helper fixes the packet's CONGEST bit cost with the same per-field
+// BitsInt/BitsUint accounting the legacy Message.Bits() implementations
+// used (pinned by wire_test.go).
+
+// packFracX builds the KW05 fractional-value announcement
+// (congest.TagFracX): the new value x = (Δ+1)^{-m/k} encoded by the
+// exponent index m, so the message is O(log k) bits.
+func packFracX(m int32) congest.Packet {
+	return congest.Packet{
+		Tag:  congest.TagFracX,
+		Bits: uint32(congest.MsgTagBits + congest.BitsUint(uint64(m)+1)),
+		A:    uint64(uint32(m)),
+	}
+}
+
+func fracXFields(p congest.Packet) (m int32) { return int32(uint32(p.A)) }
+
+// packFracCovered announces that the sender became fractionally covered
+// (KW05).
+func packFracCovered() congest.Packet { return congest.TagOnly(congest.TagFracCovered) }
+
+// packJoin announces that the sender joined the dominating set.
+func packJoin() congest.Packet { return congest.TagOnly(congest.TagJoin) }
+
+// packCovered announces that the sender became covered (LW bucket greedy).
+func packCovered() congest.Packet { return congest.TagOnly(congest.TagCovered) }
+
+// packSpan builds the LRG status message (congest.TagSpan): the sender's
+// span plus its coverage flag (1 bit).
+func packSpan(covered bool, span int32) congest.Packet {
+	var c uint64
+	if covered {
+		c = 1
+	}
+	return congest.Packet{
+		Tag:  congest.TagSpan,
+		Bits: uint32(congest.MsgTagBits + 1 + congest.BitsUint(uint64(span))),
+		A:    uint64(uint32(span)),
+		B:    c,
+	}
+}
+
+func spanFields(p congest.Packet) (covered bool, span int32) {
+	return p.B != 0, int32(uint32(p.A))
+}
+
+// packMaxSpan relays the largest rounded span within distance 1 (LRG).
+func packMaxSpan(dhat int32) congest.Packet {
+	return congest.Packet{
+		Tag:  congest.TagMaxSpan,
+		Bits: uint32(congest.MsgTagBits + congest.BitsUint(uint64(dhat))),
+		A:    uint64(uint32(dhat)),
+	}
+}
+
+func maxSpanFields(p congest.Packet) (dhat int32) { return int32(uint32(p.A)) }
+
+// packCandidate announces LRG candidacy.
+func packCandidate() congest.Packet { return congest.TagOnly(congest.TagCandidate) }
+
+// packSupport carries an uncovered node's support count (LRG).
+func packSupport(s int32) congest.Packet {
+	return congest.Packet{
+		Tag:  congest.TagSupport,
+		Bits: uint32(congest.MsgTagBits + congest.BitsUint(uint64(s))),
+		A:    uint64(uint32(s)),
+	}
+}
+
+func supportFields(p congest.Packet) (s int32) { return int32(uint32(p.A)) }

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/rng"
+)
+
+// TestWireRoundTrip pins every baseline message against its legacy
+// Message.Bits() accounting and checks pack/decode fidelity, mirroring
+// the mds wire test.
+func TestWireRoundTrip(t *testing.T) {
+	r := rng.New(321)
+	for i := 0; i < 20000; i++ {
+		m := int32(r.Uint64() % (1 << 31))
+		span := int32(r.Uint64() % (1 << 31))
+		covered := r.Bernoulli(0.5)
+
+		p := packFracX(m)
+		if got := fracXFields(p); got != m {
+			t.Fatalf("frac-x round-trip: got %d, want %d", got, m)
+		}
+		if want := congest.MsgTagBits + congest.BitsUint(uint64(m)+1); int(p.Bits) != want {
+			t.Fatalf("frac-x bits: got %d, legacy %d", p.Bits, want)
+		}
+
+		p = packSpan(covered, span)
+		if gc, gs := spanFields(p); gc != covered || gs != span {
+			t.Fatalf("span round-trip: got (%v,%d), want (%v,%d)", gc, gs, covered, span)
+		}
+		if want := congest.MsgTagBits + 1 + congest.BitsUint(uint64(span)); int(p.Bits) != want {
+			t.Fatalf("span bits: got %d, legacy %d", p.Bits, want)
+		}
+
+		p = packMaxSpan(span)
+		if got := maxSpanFields(p); got != span {
+			t.Fatalf("max-span round-trip: got %d, want %d", got, span)
+		}
+		if want := congest.MsgTagBits + congest.BitsUint(uint64(span)); int(p.Bits) != want {
+			t.Fatalf("max-span bits: got %d, legacy %d", p.Bits, want)
+		}
+
+		p = packSupport(span)
+		if got := supportFields(p); got != span {
+			t.Fatalf("support round-trip: got %d, want %d", got, span)
+		}
+		if want := congest.MsgTagBits + congest.BitsUint(uint64(span)); int(p.Bits) != want {
+			t.Fatalf("support bits: got %d, legacy %d", p.Bits, want)
+		}
+	}
+
+	for _, tt := range []struct {
+		name string
+		p    congest.Packet
+		tag  congest.Tag
+	}{
+		{"join", packJoin(), congest.TagJoin},
+		{"frac-covered", packFracCovered(), congest.TagFracCovered},
+		{"covered", packCovered(), congest.TagCovered},
+		{"candidate", packCandidate(), congest.TagCandidate},
+	} {
+		if tt.p.Tag != tt.tag || tt.p.Bits != congest.MsgTagBits || tt.p.A != 0 || tt.p.B != 0 {
+			t.Fatalf("%s: tag-only packet malformed: %+v", tt.name, tt.p)
+		}
+	}
+}

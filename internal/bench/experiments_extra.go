@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"arbods/internal/baseline"
 	"arbods/internal/congest"
@@ -176,7 +175,7 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 	sort.Strings(types)
 	for _, k := range types {
 		st := traced.Result.MessageStats[k]
-		td.AddRow(strings.TrimPrefix(k, "mds."), fmtI64(st.Count), fmtI64(st.Bits),
+		td.AddRow(k, fmtI64(st.Count), fmtI64(st.Bits),
 			fmtF(float64(st.Bits)/float64(st.Count)))
 	}
 

@@ -26,8 +26,10 @@ func benchGraph(b *testing.B, n int) *graph.Graph {
 // sparse random graph (avg degree ≈ 4, ≈ 2·10⁶ edges): three rounds of
 // broadcast traffic, ≈ 12·10⁶ routed messages per run. workers=1 is the
 // sequential engine; the other sub-benchmarks exercise the sharded
-// parallel routing path. Allocation counts are the headline: routing is
-// scratch-reuse only, so allocs/op stays flat in the message volume.
+// parallel routing path. Allocation counts are the headline: messages
+// are value-typed packets and routing is scratch-reuse only, so
+// allocs/op is independent of the message volume (what remains is
+// per-run setup: procs, rng streams, first-round inbox growth).
 func BenchmarkRunLarge(b *testing.B) {
 	g := benchGraph(b, 1_000_000)
 	factory := func(ni congest.NodeInfo) congest.Proc[int64] {

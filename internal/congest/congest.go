@@ -18,6 +18,20 @@
 //   - randomness comes from per-node streams seeded by (runSeed, nodeID),
 //     so the sequential engine and the parallel (goroutine-pool) engine
 //     produce bit-identical transcripts.
+//
+// # Wire format
+//
+// Messages travel as Packet values: a Tag (4-bit header in the bit
+// accounting, see MsgTagBits) plus a payload packed into at most two
+// uint64 words, with the CONGEST bit cost precomputed at pack time from
+// the same BitsInt/BitsUint field accounting the legacy interface-based
+// path used. Outboxes and inboxes are flat slices of these values, so
+// routing a message is a value copy — no boxing, no allocation, no
+// reflection, no dynamic size call. Each delivered Incoming additionally
+// carries the sender's position in the receiver's sorted neighbor list,
+// read from the graph's precomputed reverse-edge index
+// (graph.ReverseIndex), which replaces the O(log deg) binary search
+// receivers used to pay per message.
 package congest
 
 import (
@@ -31,16 +45,14 @@ import (
 	"arbods/internal/rng"
 )
 
-// Message is anything a node can send over an edge. Bits must return the
-// encoded size in bits; the engine uses it for bandwidth accounting.
-type Message interface {
-	Bits() int
-}
-
-// Incoming is a received message tagged with its sender.
+// Incoming is a received packet tagged with its sender and with the
+// sender's precomputed position in the receiver's sorted neighbor list
+// (the reverse-edge index), so procs index their neighbor caches directly
+// instead of binary-searching per message.
 type Incoming struct {
-	From int
-	Msg  Message
+	From int32 // sender ID
+	Idx  int32 // position of From in the receiver's Neighbors slice
+	P    Packet
 }
 
 // NodeInfo is the local knowledge a node starts with.
@@ -157,7 +169,8 @@ func WithKnownArboricity(alpha int) Option {
 func WithRoundStats() Option { return optionFunc(func(c *config) { c.roundStats = true }) }
 
 // WithMessageStats records per-message-type counts and bit volumes in the
-// result (Result.MessageStats). Costs one type switch per message.
+// result (Result.MessageStats), keyed by tag name. Costs two array adds
+// per message.
 func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats = true }) }
 
 // RoundStat is the traffic of one round.
@@ -213,40 +226,85 @@ func (e *BandwidthError) Error() string {
 		e.Round, e.From, e.To, e.Bits, e.Budget)
 }
 
-// Sender collects a node's outgoing messages for the current round.
+// outPacket is one queued send: the destination, the sender's position in
+// the destination's neighbor list (from the graph's reverse-edge index),
+// and the packet itself. Outboxes are flat slices of these values; the
+// routing shards stream through them cache-linearly with no pointer
+// chasing and no per-message dynamic calls.
+type outPacket struct {
+	to  int32
+	idx int32
+	p   Packet
+}
+
+// Sender collects a node's outgoing packets for the current round.
 type Sender struct {
-	owner     int
+	owner     int32
 	neighbors []int32
-	out       []Incoming // From is reused to store the *destination* until routing
+	revIdx    []int32 // graph.ReverseIndex(owner): owner's position in each neighbor's list
+	out       []outPacket
 	err       error
 }
 
-// Send sends m to neighbor `to` (delivered next round). Sending to a
-// non-neighbor records an error that aborts the run.
-func (s *Sender) Send(to int, m Message) {
+// Send sends p to neighbor `to` (delivered next round). Sending to a
+// non-neighbor or with an out-of-range tag records an error that aborts
+// the run. The neighbor check is the same binary search as before; the
+// position it finds also yields the reverse-edge index, so the receiver
+// pays nothing.
+func (s *Sender) Send(to int, p Packet) {
 	if s.err != nil {
 		return
 	}
-	if !s.isNeighbor(to) {
+	j := s.neighborPos(to)
+	if j < 0 {
 		s.err = fmt.Errorf("congest: node %d sent to non-neighbor %d", s.owner, to)
 		return
 	}
-	s.out = append(s.out, Incoming{From: to, Msg: m})
+	if err := s.validate(p); err != nil {
+		return
+	}
+	s.out = append(s.out, outPacket{to: int32(to), idx: s.revIdx[j], p: p})
 }
 
-// Broadcast sends m to every neighbor.
-func (s *Sender) Broadcast(m Message) {
+// Broadcast sends p to every neighbor. The reverse-edge indices come
+// straight from the precomputed table — no searches at all.
+func (s *Sender) Broadcast(p Packet) {
 	if s.err != nil {
 		return
 	}
-	for _, u := range s.neighbors {
-		s.out = append(s.out, Incoming{From: int(u), Msg: m})
+	if err := s.validate(p); err != nil {
+		return
+	}
+	for j, u := range s.neighbors {
+		s.out = append(s.out, outPacket{to: u, idx: s.revIdx[j], p: p})
 	}
 }
 
-func (s *Sender) isNeighbor(v int) bool {
+// validate rejects malformed packets: an out-of-range tag (would index
+// past the stats arrays) or a bit cost below the tag header (a
+// hand-assembled packet with an unset Bits field would otherwise
+// silently undercount the bandwidth accounting the simulator enforces;
+// under the legacy Message interface that mistake was impossible).
+func (s *Sender) validate(p Packet) error {
+	if p.Tag >= MaxTags {
+		s.err = fmt.Errorf("congest: node %d sent tag %d ≥ MaxTags", s.owner, p.Tag)
+		return s.err
+	}
+	if p.Bits < MsgTagBits {
+		s.err = fmt.Errorf("congest: node %d sent a %d-bit packet, below the %d-bit tag header", s.owner, p.Bits, MsgTagBits)
+		return s.err
+	}
+	return nil
+}
+
+// neighborPos returns v's position in the owner's sorted neighbor list,
+// or -1 if v is not a neighbor.
+func (s *Sender) neighborPos(v int) int {
 	i := sort.Search(len(s.neighbors), func(i int) bool { return s.neighbors[i] >= int32(v) })
-	return i < len(s.neighbors) && s.neighbors[i] == int32(v)
+	if i < len(s.neighbors) && s.neighbors[i] == int32(v) {
+		return i
+	}
+	return -1
 }
 
 // Run executes the algorithm built by factory on g and returns the outputs

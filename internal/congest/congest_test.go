@@ -11,15 +11,28 @@ import (
 	"arbods/internal/graph"
 )
 
-// pingMsg is a fixed-size test message.
-type pingMsg struct{ payload int64 }
+// Test tags live above the library tag space (still charged MsgTagBits,
+// matching the legacy interface path).
+const (
+	tagPing  = congest.Tag(16)
+	tagToken = congest.Tag(17)
+)
 
-func (m pingMsg) Bits() int { return congest.MsgTagBits + congest.BitsInt(m.payload) }
+// packPing builds a fixed-shape test packet carrying one int64.
+func packPing(payload int64) congest.Packet {
+	return congest.Packet{
+		Tag:  tagPing,
+		Bits: uint32(congest.MsgTagBits + congest.BitsInt(payload)),
+		A:    uint64(payload),
+	}
+}
 
-// fatMsg claims an enormous size, to trigger bandwidth enforcement.
-type fatMsg struct{}
+func pingPayload(p congest.Packet) int64 { return int64(p.A) }
 
-func (fatMsg) Bits() int { return 1 << 20 }
+// fatPacket claims an enormous size, to trigger bandwidth enforcement.
+func fatPacket() congest.Packet {
+	return congest.Packet{Tag: tagPing, Bits: 1 << 20}
+}
 
 // echoProc broadcasts its ID for a fixed number of rounds and records the
 // sum of everything it hears. Output: the sum.
@@ -31,12 +44,12 @@ type echoProc struct {
 
 func (p *echoProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	for _, m := range in {
-		if pm, ok := m.Msg.(pingMsg); ok {
-			p.sum += pm.payload
+		if m.P.Tag == tagPing {
+			p.sum += pingPayload(m.P)
 		}
 	}
 	if round < p.rounds {
-		s.Broadcast(pingMsg{payload: int64(p.ni.ID)})
+		s.Broadcast(packPing(int64(p.ni.ID)))
 		return false
 	}
 	return true
@@ -82,9 +95,9 @@ func (p *sendOnceProc) Step(round int, in []congest.Incoming, s *congest.Sender)
 	if !p.sent {
 		p.sent = true
 		if p.fat {
-			s.Send(p.target, fatMsg{})
+			s.Send(p.target, fatPacket())
 		} else {
-			s.Send(p.target, pingMsg{})
+			s.Send(p.target, packPing(0))
 		}
 		return false
 	}
@@ -129,7 +142,7 @@ type rogueProc struct{ ni congest.NodeInfo }
 func (p *rogueProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	// Node 0 tries to message non-neighbor node 2 on a path 0-1-2.
 	if p.ni.ID == 0 {
-		s.Send(2, pingMsg{})
+		s.Send(2, packPing(0))
 	}
 	return true
 }
@@ -274,8 +287,8 @@ type doubleSendProc struct {
 func (p *doubleSendProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	if p.ni.ID == 0 && !p.sent {
 		p.sent = true
-		s.Send(1, pingMsg{payload: 1})
-		s.Send(1, pingMsg{payload: 2})
+		s.Send(1, packPing(1))
+		s.Send(1, packPing(2))
 		return false
 	}
 	return true
@@ -289,11 +302,11 @@ func TestMultiMessageEdgeAccounting(t *testing.T) {
 		return &doubleSendProc{ni: ni}
 	}
 	// Budget below the sum of the two messages but above each single one.
-	one := pingMsg{payload: 1}.Bits()
+	one := int(packPing(1).Bits)
 	res, err := congest.Run(g, factory, congest.WithBandwidth(one+1))
 	if err == nil {
 		t.Fatalf("two messages (%d+%d bits) fit a %d-bit edge slot: %+v",
-			one, pingMsg{payload: 2}.Bits(), one+1, res)
+			one, packPing(2).Bits, one+1, res)
 	}
 	// With a budget covering both, the run succeeds and MaxEdgeBits shows
 	// the aggregated volume.
@@ -366,5 +379,63 @@ func TestBitsHelpers(t *testing.T) {
 	}
 	if congest.DefaultBandwidth(1024) != 32*10 {
 		t.Fatalf("DefaultBandwidth(1024) = %d", congest.DefaultBandwidth(1024))
+	}
+}
+
+// badTagProc sends a packet whose tag is outside the tag space.
+type badTagProc struct{ ni congest.NodeInfo }
+
+func (p *badTagProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	if p.ni.ID == 0 {
+		s.Broadcast(congest.Packet{Tag: congest.MaxTags, Bits: congest.MsgTagBits})
+	}
+	return true
+}
+
+func (p *badTagProc) Output() struct{} { return struct{}{} }
+
+func TestOutOfRangeTagRejected(t *testing.T) {
+	g := gen.Path(2).G
+	_, err := congest.Run(g, func(ni congest.NodeInfo) congest.Proc[struct{}] {
+		return &badTagProc{ni: ni}
+	})
+	if err == nil {
+		t.Fatal("expected error for tag ≥ MaxTags")
+	}
+}
+
+// zeroBitsProc hand-assembles a packet without setting Bits; the engine
+// must reject it rather than undercount the bandwidth accounting.
+type zeroBitsProc struct{ ni congest.NodeInfo }
+
+func (p *zeroBitsProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
+	if p.ni.ID == 0 {
+		s.Broadcast(congest.Packet{Tag: tagPing})
+	}
+	return true
+}
+
+func (p *zeroBitsProc) Output() struct{} { return struct{}{} }
+
+func TestBelowTagHeaderBitsRejected(t *testing.T) {
+	g := gen.Path(2).G
+	_, err := congest.Run(g, func(ni congest.NodeInfo) congest.Proc[struct{}] {
+		return &zeroBitsProc{ni: ni}
+	})
+	if err == nil {
+		t.Fatal("expected error for Bits < MsgTagBits")
+	}
+}
+
+func TestTagNames(t *testing.T) {
+	if congest.TagJoin.String() != "join" || congest.TagPacking.String() != "packing" {
+		t.Fatalf("library tag names wrong: %v %v", congest.TagJoin, congest.TagPacking)
+	}
+	if congest.Tag(20).String() != "tag-20" {
+		t.Fatalf("fallback tag name wrong: %v", congest.Tag(20))
+	}
+	p := congest.TagOnly(congest.TagDom)
+	if p.Tag != congest.TagDom || p.Bits != congest.MsgTagBits || p.A != 0 || p.B != 0 {
+		t.Fatalf("TagOnly malformed: %+v", p)
 	}
 }

@@ -10,10 +10,16 @@ import (
 	"arbods/internal/graph"
 )
 
-// tokenMsg is a second message type so MessageStats has >1 key.
-type tokenMsg struct{ hops int32 }
+// packToken is a second message type so MessageStats has >1 key.
+func packToken(hops int32) congest.Packet {
+	return congest.Packet{
+		Tag:  tagToken,
+		Bits: uint32(congest.MsgTagBits + congest.BitsInt(int64(hops))),
+		A:    uint64(uint32(hops)),
+	}
+}
 
-func (m tokenMsg) Bits() int { return congest.MsgTagBits + congest.BitsInt(int64(m.hops)) }
+func tokenHops(p congest.Packet) int32 { return int32(uint32(p.A)) }
 
 // chatterProc exercises every transcript dimension at once: staggered
 // termination (drops), two message types (message stats), random
@@ -28,22 +34,22 @@ type chatterProc struct {
 
 func (p *chatterProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	for _, m := range in {
-		switch mm := m.Msg.(type) {
-		case pingMsg:
-			p.sum += mm.payload
-		case tokenMsg:
-			p.sum += int64(mm.hops)
+		switch m.P.Tag {
+		case tagPing:
+			p.sum += pingPayload(m.P)
+		case tagToken:
+			p.sum += int64(tokenHops(m.P))
 		}
 	}
 	if round >= p.rounds {
 		if d := p.ni.Degree(); d > 0 {
-			s.Send(int(p.ni.Neighbors[p.ni.Rand.Intn(d)]), tokenMsg{hops: int32(round)})
+			s.Send(int(p.ni.Neighbors[p.ni.Rand.Intn(d)]), packToken(int32(round)))
 		}
 		return true
 	}
-	s.Broadcast(pingMsg{payload: int64(p.ni.Rand.Intn(1000))})
+	s.Broadcast(packPing(int64(p.ni.Rand.Intn(1000))))
 	if p.ni.Degree() > 0 && p.ni.Rand.Bernoulli(0.3) {
-		s.Send(int(p.ni.Neighbors[0]), tokenMsg{hops: int32(round)})
+		s.Send(int(p.ni.Neighbors[0]), packToken(int32(round)))
 	}
 	return false
 }
@@ -114,7 +120,7 @@ func (p *farewellProc) Step(round int, in []congest.Incoming, s *congest.Sender)
 	p.heard += len(in)
 	if p.ni.ID == 0 {
 		if round == 0 {
-			s.Send(1, pingMsg{payload: 7})
+			s.Send(1, packPing(7))
 		}
 		return true
 	}

@@ -73,7 +73,7 @@ func newEngine[O any](g *graph.Graph, factory Factory[O], cfg config) *engine[O]
 			ni.Arboricity = cfg.arboricity
 		}
 		e.procs[v] = factory(ni)
-		e.senders[v] = Sender{owner: v, neighbors: g.Neighbors(v)}
+		e.senders[v] = Sender{owner: int32(v), neighbors: g.Neighbors(v), revIdx: g.ReverseIndex(v)}
 	}
 
 	e.res = &Result[O]{Bandwidth: e.budget}
@@ -202,16 +202,21 @@ func (e *engine[O]) finish() *Result[O] {
 		if s.maxEdgeBits > res.MaxEdgeBits {
 			res.MaxEdgeBits = s.maxEdgeBits
 		}
-		for t, st := range s.stats {
-			if res.MessageStats == nil {
-				res.MessageStats = make(map[string]MessageStat, len(s.stats))
+		for t := range s.stats {
+			st := s.stats[t]
+			if st.Count == 0 {
+				continue
 			}
-			// One String() per message *type* per shard replaces the old
-			// engine's fmt.Sprintf("%T", …) per message.
-			agg := res.MessageStats[t.String()]
+			if res.MessageStats == nil {
+				res.MessageStats = make(map[string]MessageStat, 4)
+			}
+			// One name lookup per *tag* per shard; the per-message work in
+			// routeRange is two array adds.
+			name := Tag(t).String()
+			agg := res.MessageStats[name]
 			agg.Count += st.Count
 			agg.Bits += st.Bits
-			res.MessageStats[t.String()] = agg
+			res.MessageStats[name] = agg
 		}
 	}
 	res.Outputs = make([]O, e.n)

@@ -1,7 +1,5 @@
 package congest
 
-import "reflect"
-
 // routeShard is one worker's receiver range plus its routing scratch and
 // accumulators. The scratch arrays are indexed by (receiver − lo) and
 // reused across senders and rounds; stamp marks which entries belong to
@@ -24,13 +22,19 @@ type routeShard struct {
 	dropped     int64
 	violations  int64
 	maxEdgeBits int
-	stats       map[reflect.Type]MessageStat
+	// stats is tag-indexed: recording a message is two array adds, and
+	// finish aggregates by scanning MaxTags entries — no reflect.Type
+	// map, no hashing in the hot path.
+	stats [MaxTags]MessageStat
 }
 
 // routeRange drains every sender's outbox for shard w's receiver range.
 // Senders are scanned in ID order and outboxes preserve send order, so
 // each inbox fills in (sender ID, send index) order — bit-identical to
-// the sequential engine for any worker count.
+// the sequential engine for any worker count. The outbox entries are
+// plain 32-byte values (destination, reverse index, 24-byte packet)
+// streamed sequentially: no interface unboxing, no dynamic Bits() call,
+// no allocation.
 func (e *engine[O]) routeRange(w int) {
 	s := &e.routes[w]
 	lo, hi := s.lo, s.hi
@@ -52,12 +56,11 @@ func (e *engine[O]) routeRange(w int) {
 		s.senderGen++
 		nt := 0 // receivers this sender touched in range, in send order
 		for i := range out {
-			to := out[i].From // destination, stashed in From until routed
+			to := int(out[i].to)
 			if to < lo || to >= hi {
 				continue
 			}
-			m := out[i].Msg
-			mb := m.Bits()
+			mb := int64(out[i].p.Bits)
 			idx := to - lo
 			if s.stamp[idx] != gen {
 				s.stamp[idx] = gen
@@ -65,24 +68,19 @@ func (e *engine[O]) routeRange(w int) {
 				s.touched[nt] = int32(to)
 				nt++
 			}
-			s.edgeBits[idx] += int64(mb)
+			s.edgeBits[idx] += mb
 			msgs++
-			bits += int64(mb)
+			bits += mb
 			if msgStats {
-				if s.stats == nil {
-					s.stats = make(map[reflect.Type]MessageStat)
-				}
-				t := reflect.TypeOf(m)
-				st := s.stats[t]
+				st := &s.stats[out[i].p.Tag]
 				st.Count++
-				st.Bits += int64(mb)
-				s.stats[t] = st
+				st.Bits += mb
 			}
 			if e.done[to] {
 				s.dropped++
 				continue
 			}
-			e.next[to] = append(e.next[to], Incoming{From: v, Msg: m})
+			e.next[to] = append(e.next[to], Incoming{From: int32(v), Idx: out[i].idx, P: out[i].p})
 			inflight++
 		}
 		// Budget applies per directed edge (v, to): messages to the same

@@ -28,6 +28,7 @@ const MaxWeight = int64(1) << 40
 type Graph struct {
 	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
 	adj     []int32 // concatenated sorted neighbor lists
+	rev     []int32 // parallel to adj: rev[e] is the position of v in adj[e]'s list, where v owns slot e
 	weights []int64 // len n; all entries in [1, MaxWeight]
 	maxDeg  int
 }
@@ -96,52 +97,104 @@ func (b *Builder) SetWeight(v int, w int64) *Builder {
 
 // Build finalizes the graph. It returns the first error recorded by AddEdge
 // or SetWeight, if any.
+//
+// Construction is comparison-free: the 2m directed edge slots are ordered
+// by (source, target) with two stable counting passes (an LSD radix sort
+// over node IDs), so every neighbor list comes out sorted without a
+// per-node re-sort, duplicates land adjacent for O(m) deduplication, and
+// the whole build runs in O(n + m) time.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	n := b.n
+	m2 := 2 * len(b.edges)
+
+	// Pass 1: stable counting sort of the directed slots by target.
+	cnt := make([]int32, n+1)
+	for _, e := range b.edges {
+		cnt[e[0]]++
+		cnt[e[1]]++
+	}
+	cursor := make([]int32, n+1)
+	var sum int32
+	for v := 0; v < n; v++ {
+		cursor[v] = sum
+		sum += cnt[v]
+	}
+	src := make([]int32, m2)
+	dst := make([]int32, m2)
+	for _, e := range b.edges {
+		c := cursor[e[1]]
+		src[c], dst[c] = e[0], e[1]
+		cursor[e[1]] = c + 1
+		c = cursor[e[0]]
+		src[c], dst[c] = e[1], e[0]
+		cursor[e[0]] = c + 1
+	}
+
+	// Pass 2: stable counting sort by source. Stability preserves the
+	// by-target order within each source, so adjDup is sorted by
+	// (source, target) and each node's targets are ascending.
+	sum = 0
+	for v := 0; v < n; v++ {
+		cursor[v] = sum
+		sum += cnt[v] // undirected: out-slot count == in-slot count per node
+	}
+	adjDup := make([]int32, m2)
+	starts := make([]int32, n+1)
+	copy(starts, cursor[:n])
+	starts[n] = sum
+	for i := 0; i < m2; i++ {
+		s := src[i]
+		adjDup[cursor[s]] = dst[i]
+		cursor[s]++
+	}
+
+	// Deduplicate adjacent repeats (parallel edges) per source and build
+	// the final CSR, compacting adjDup in place (the write index never
+	// overtakes the read index).
+	offsets := make([]int32, n+1)
+	w := int32(0)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		offsets[v] = w
+		prev := int32(-1)
+		for i := starts[v]; i < starts[v+1]; i++ {
+			t := adjDup[i]
+			if t == prev {
+				continue
+			}
+			prev = t
+			adjDup[w] = t
+			w++
 		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	// Deduplicate.
-	uniq := b.edges[:0]
-	for i, e := range b.edges {
-		if i == 0 || e != b.edges[i-1] {
-			uniq = append(uniq, e)
+		if d := int(w - offsets[v]); d > maxDeg {
+			maxDeg = d
 		}
 	}
-	deg := make([]int32, b.n)
-	for _, e := range uniq {
-		deg[e[0]]++
-		deg[e[1]]++
+	offsets[n] = w
+	adj := adjDup[:w:w]
+	if int(w) < m2 {
+		// Duplicates were dropped: re-allocate at exact size so the graph
+		// does not pin the oversized scratch array for its lifetime.
+		adj = append([]int32(nil), adjDup[:w]...)
 	}
-	offsets := make([]int32, b.n+1)
-	for v := 0; v < b.n; v++ {
-		offsets[v+1] = offsets[v] + deg[v]
+
+	// Reverse-edge index: slot e holds the directed edge (v → adj[e]) with
+	// slots sorted by (source, target). A single stable counting pass by
+	// target enumerates the same slots sorted by (target, source) — and the
+	// k-th slot in that order is exactly the mirror slot of the slot it was
+	// read from, so rev falls out in O(m) with no searching.
+	rev := make([]int32, len(adj))
+	copy(cursor[:n+1], offsets)
+	for e := range adj {
+		k := cursor[adj[e]]
+		cursor[adj[e]] = k + 1
+		rev[e] = k - offsets[adj[e]] // store position within the target's list
 	}
-	adj := make([]int32, 2*len(uniq))
-	cursor := make([]int32, b.n)
-	copy(cursor, offsets[:b.n])
-	for _, e := range uniq {
-		adj[cursor[e[0]]] = e[1]
-		cursor[e[0]]++
-		adj[cursor[e[1]]] = e[0]
-		cursor[e[1]]++
-	}
-	g := &Graph{offsets: offsets, adj: adj, weights: b.weights}
-	for v := 0; v < b.n; v++ {
-		// Neighbor lists come out sorted because edges were sorted by
-		// (min, max) endpoint, but lists mixing "v as min" and "v as max"
-		// entries need a final per-node sort.
-		nb := g.neighborSlice(v)
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		if len(nb) > g.maxDeg {
-			g.maxDeg = len(nb)
-		}
-	}
+
+	g := &Graph{offsets: offsets, adj: adj, rev: rev, weights: b.weights, maxDeg: maxDeg}
 	return g, nil
 }
 
@@ -186,6 +239,15 @@ func (g *Graph) neighborSlice(v int) []int32 {
 // use AppendNeighbors to obtain an owned copy.
 func (g *Graph) Neighbors(v int) []int32 {
 	return g.neighborSlice(v)
+}
+
+// ReverseIndex returns, for each position i in v's neighbor list, the
+// position of v in Neighbors(v)[i]'s own sorted neighbor list. It is the
+// precomputed mirror of the CSR: for the directed edge (v → u) it answers
+// "where does u keep v" in O(1), replacing the per-message binary search a
+// receiver would otherwise pay. Read-only view, aligned with Neighbors(v).
+func (g *Graph) ReverseIndex(v int) []int32 {
+	return g.rev[g.offsets[v]:g.offsets[v+1]]
 }
 
 // AppendNeighbors appends the neighbors of v to dst and returns the extended

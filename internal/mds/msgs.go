@@ -14,67 +14,73 @@
 // γ^k during the randomized extension), so messages carry small integers and
 // every message fits in O(log n) bits as the paper requires; the simulator
 // enforces this.
+//
+// Messages travel as congest.Packet wire words. This file holds the pack
+// and decode helpers for the package's tags; each pack helper fixes the
+// packet's bit cost using the exact per-field BitsInt/BitsUint accounting
+// the legacy Message.Bits() implementations used (pinned by wire_test.go).
 package mds
 
 import "arbods/internal/congest"
 
-// weightMsg announces the sender's weight (and degree, used by the
-// unknown-Δ variant to compute max_{u∈N+(v)}|N+(u)|).
-type weightMsg struct {
-	w   int64
-	deg int32
-}
-
-// Bits implements congest.Message.
-func (m weightMsg) Bits() int {
-	return congest.MsgTagBits + congest.BitsInt(m.w) + congest.BitsUint(uint64(m.deg))
-}
-
-// packingMsg announces the sender's packing value x = τ·(1+ε)^exp/(D+1),
-// where D is Δ when globally known, or the sender's local normalizer in the
-// unknown-Δ variant (in which case the message carries it).
-type packingMsg struct {
-	tau  int64
-	exp  int32
-	norm int32 // 0 when Δ is globally known
-}
-
-// Bits implements congest.Message.
-func (m packingMsg) Bits() int {
-	b := congest.MsgTagBits + congest.BitsInt(m.tau) + congest.BitsUint(uint64(m.exp))
-	if m.norm != 0 {
-		b += congest.BitsUint(uint64(m.norm))
+// packWeight builds the weight announcement (congest.TagWeight): the
+// sender's weight and degree (the degree feeds the unknown-Δ variant's
+// max_{u∈N+(v)}|N+(u)| normalizer).
+func packWeight(w int64, deg int32) congest.Packet {
+	return congest.Packet{
+		Tag:  congest.TagWeight,
+		Bits: uint32(congest.MsgTagBits + congest.BitsInt(w) + congest.BitsUint(uint64(deg))),
+		A:    uint64(w),
+		B:    uint64(uint32(deg)),
 	}
-	return b
 }
 
-// joinMsg announces that the sender joined the dominating set; the receiver
-// is now dominated (and the sender, being in the set, is dominated too).
-type joinMsg struct{}
+func weightFields(p congest.Packet) (w int64, deg int32) {
+	return int64(p.A), int32(uint32(p.B))
+}
 
-// Bits implements congest.Message.
-func (joinMsg) Bits() int { return congest.MsgTagBits }
+// packPacking builds the packing-value announcement (congest.TagPacking):
+// x = τ·(1+ε)^exp/(D+1), where D is Δ when globally known, or the
+// sender's local normalizer in the unknown-Δ variant (norm ≠ 0, carried).
+func packPacking(tau int64, exp, norm int32) congest.Packet {
+	b := congest.MsgTagBits + congest.BitsInt(tau) + congest.BitsUint(uint64(exp))
+	if norm != 0 {
+		b += congest.BitsUint(uint64(norm))
+	}
+	return congest.Packet{
+		Tag:  congest.TagPacking,
+		Bits: uint32(b),
+		A:    uint64(tau),
+		B:    uint64(uint32(exp))<<32 | uint64(uint32(norm)),
+	}
+}
 
-// requestMsg asks the receiver (the minimum-weight node in the sender's
+func packingFields(p congest.Packet) (tau int64, exp, norm int32) {
+	return int64(p.A), int32(uint32(p.B >> 32)), int32(uint32(p.B))
+}
+
+// packJoin announces that the sender joined the dominating set; the
+// receiver is now dominated (and the sender, being in the set, is too).
+func packJoin() congest.Packet { return congest.TagOnly(congest.TagJoin) }
+
+// packRequest asks the receiver (the minimum-weight node in the sender's
 // closed neighborhood) to join the dominating set — the completion step of
 // Theorem 1.1 and Remarks 4.4/4.5.
-type requestMsg struct{}
+func packRequest() congest.Packet { return congest.TagOnly(congest.TagRequest) }
 
-// Bits implements congest.Message.
-func (requestMsg) Bits() int { return congest.MsgTagBits }
-
-// domMsg announces that the sender is dominated. The randomized extension
+// packDom announces that the sender is dominated. The randomized extension
 // needs it to maintain X_u over undominated closed neighbors, and the
 // unknown-parameter variants use it for local termination detection.
-type domMsg struct{}
+func packDom() congest.Packet { return congest.TagOnly(congest.TagDom) }
 
-// Bits implements congest.Message.
-func (domMsg) Bits() int { return congest.MsgTagBits }
-
-// degreeMsg announces the sender's degree (tree algorithm, Observation A.1).
-type degreeMsg struct {
-	deg int32
+// packDegree announces the sender's degree (tree algorithm Observation
+// A.1; out-degree exchange of Remark 4.5).
+func packDegree(deg int32) congest.Packet {
+	return congest.Packet{
+		Tag:  congest.TagDegree,
+		Bits: uint32(congest.MsgTagBits + congest.BitsUint(uint64(deg))),
+		A:    uint64(uint32(deg)),
+	}
 }
 
-// Bits implements congest.Message.
-func (m degreeMsg) Bits() int { return congest.MsgTagBits + congest.BitsUint(uint64(m.deg)) }
+func degreeFields(p congest.Packet) (deg int32) { return int32(uint32(p.A)) }

@@ -2,7 +2,6 @@ package mds
 
 import (
 	"math"
-	"sort"
 
 	"arbods/internal/congest"
 )
@@ -200,38 +199,35 @@ func extensionPhases(gamma, lambda float64) int {
 	return t
 }
 
-// idx returns the position of neighbor id in the sorted neighbor list.
-func (pr *proc) idx(id int) int {
-	nb := pr.ni.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 // xValue reconstructs τ·(1+ε)^exp/(Δ+1) from a packing message.
-func (pr *proc) xValue(m packingMsg) float64 {
-	return float64(m.tau) * math.Pow(1+pr.p.eps, float64(m.exp)) / float64(pr.delta+1)
+func (pr *proc) xValue(tau int64, exp int32) float64 {
+	return float64(tau) * math.Pow(1+pr.p.eps, float64(exp)) / float64(pr.delta+1)
 }
 
 // absorb processes an inbox, updating neighbor caches. It reports whether
-// any message implied that this node is now dominated.
+// any message implied that this node is now dominated. The sender's
+// position in the neighbor caches comes precomputed with each packet
+// (Incoming.Idx), so there is no per-message search.
 func (pr *proc) absorb(in []congest.Incoming) (dominatedNow bool) {
 	for _, m := range in {
-		i := pr.idx(m.From)
-		switch msg := m.Msg.(type) {
-		case packingMsg:
-			pr.nbrX[i] = pr.xValue(msg)
-		case weightMsg:
-			pr.nbrW[i] = msg.w
-		case joinMsg:
+		i := m.Idx
+		switch m.P.Tag {
+		case congest.TagPacking:
+			tau, exp, _ := packingFields(m.P)
+			pr.nbrX[i] = pr.xValue(tau, exp)
+		case congest.TagWeight:
+			w, _ := weightFields(m.P)
+			pr.nbrW[i] = w
+		case congest.TagJoin:
 			if pr.nbrDom != nil {
 				pr.nbrDom[i] = true
 			}
 			dominatedNow = true
-		case domMsg:
+		case congest.TagDom:
 			if pr.nbrDom != nil {
 				pr.nbrDom[i] = true
 			}
-		case requestMsg:
+		case congest.TagRequest:
 			pr.requested = true
 		}
 	}
@@ -266,7 +262,7 @@ func (pr *proc) bigXUndominated() float64 {
 func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	switch pr.st {
 	case stInit:
-		s.Broadcast(weightMsg{w: pr.ni.Weight, deg: int32(pr.ni.Degree())})
+		s.Broadcast(packWeight(pr.ni.Weight, int32(pr.ni.Degree())))
 		pr.st = stSetup
 		return false
 
@@ -276,7 +272,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 		pr.x = float64(pr.tau) / float64(pr.delta+1)
 		pr.x41 = pr.x
 		if pr.r > 0 {
-			s.Broadcast(packingMsg{tau: pr.tau, exp: 0})
+			s.Broadcast(packPacking(pr.tau, 0, 0))
 			pr.st = stIterA
 			return false
 		}
@@ -287,7 +283,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 		if !pr.inS && pr.bigX() >= pr.threshold() {
 			pr.inS = true
 			pr.dom = true
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		pr.st = stIterB
 		return false
@@ -312,7 +308,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 			lastAndLocal := pr.iter == pr.r &&
 				(pr.p.mode == completeSelf || pr.p.mode == completeNone)
 			if !lastAndLocal {
-				s.Broadcast(packingMsg{tau: pr.tau, exp: int32(pr.exp)})
+				s.Broadcast(packPacking(pr.tau, int32(pr.exp), 0))
 			}
 		}
 		if pr.iter < pr.r {
@@ -330,7 +326,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 				pr.inSP = true
 				pr.dom = true
 			} else {
-				s.Send(pr.argmin, requestMsg{})
+				s.Send(pr.argmin, packRequest())
 				// The τ-neighbor joins next round, so v is dominated.
 				pr.dom = true
 			}
@@ -371,7 +367,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 			pr.inSP = true
 			pr.dom = true
 			pr.inGamma = false
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		pr.st = stExtB
 		return false
@@ -380,7 +376,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 		wasDom := pr.dom
 		joins := 0
 		for _, m := range in {
-			if _, ok := m.Msg.(joinMsg); ok {
+			if m.P.Tag == congest.TagJoin {
 				joins++
 			}
 		}
@@ -398,7 +394,7 @@ func (pr *proc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 		}
 		last := pr.phaseIdx == pr.extPhases-1 && pr.iterIdx == pr.extIters-1
 		if pr.dom && !wasDom && !last {
-			s.Broadcast(domMsg{})
+			s.Broadcast(packDom())
 		}
 		pr.iterIdx++
 		if pr.iterIdx == pr.extIters {
@@ -463,12 +459,12 @@ func (pr *proc) afterPartial(s *congest.Sender, broadcastPacking bool) bool {
 		return false
 	case completeExtension:
 		if broadcastPacking {
-			s.Broadcast(packingMsg{tau: pr.tau, exp: int32(pr.exp)})
+			s.Broadcast(packPacking(pr.tau, int32(pr.exp), 0))
 		}
 		if pr.dom {
 			// The extension maintains X_u over undominated nodes only, so
 			// neighbors must learn who is already dominated.
-			s.Broadcast(domMsg{})
+			s.Broadcast(packDom())
 		}
 		pr.st = stExtA
 		return false

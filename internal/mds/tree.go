@@ -31,7 +31,7 @@ var _ congest.Proc[Output] = (*treeProc)(nil)
 func (p *treeProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	switch p.st {
 	case 0:
-		s.Broadcast(degreeMsg{deg: int32(p.ni.Degree())})
+		s.Broadcast(packDegree(int32(p.ni.Degree())))
 		p.st = 1
 		return false
 	default:
@@ -45,8 +45,8 @@ func (p *treeProc) Step(round int, in []congest.Incoming, s *congest.Sender) boo
 			nbr := int(p.ni.Neighbors[0])
 			nbrDeg := 1
 			for _, m := range in {
-				if dm, ok := m.Msg.(degreeMsg); ok && m.From == nbr {
-					nbrDeg = int(dm.deg)
+				if m.P.Tag == congest.TagDegree && int(m.From) == nbr {
+					nbrDeg = int(degreeFields(m.P))
 				}
 			}
 			if nbrDeg == 1 && p.ni.ID < nbr {

@@ -39,14 +39,16 @@ func (p *uaProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		// Final-round peel announcements are still in flight; absorb them
 		// before computing the out-degree.
 		p.orient.Absorb(in)
-		s.Broadcast(degreeMsg{deg: int32(p.orient.OutDegree())})
+		s.Broadcast(packDegree(int32(p.orient.OutDegree())))
 		p.st = 2
 		return false
 	case 2:
 		p.alphaHat = p.orient.OutDegree()
 		for _, m := range in {
-			if dm, ok := m.Msg.(degreeMsg); ok && int(dm.deg) > p.alphaHat {
-				p.alphaHat = int(dm.deg)
+			if m.P.Tag == congest.TagDegree {
+				if d := int(degreeFields(m.P)); d > p.alphaHat {
+					p.alphaHat = d
+				}
 			}
 		}
 		if p.alphaHat < 1 {

@@ -2,7 +2,6 @@ package mds
 
 import (
 	"math"
-	"sort"
 
 	"arbods/internal/congest"
 	"arbods/internal/graph"
@@ -55,29 +54,25 @@ type udProc struct {
 
 var _ congest.Proc[Output] = (*udProc)(nil)
 
-func (p *udProc) idx(id int) int {
-	nb := p.ni.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 func (p *udProc) absorb(in []congest.Incoming) {
 	for _, m := range in {
-		i := p.idx(m.From)
-		switch msg := m.Msg.(type) {
-		case weightMsg:
-			p.nbrW[i] = msg.w
-			if d := int(msg.deg) + 1; d > p.norm {
+		i := m.Idx
+		switch m.P.Tag {
+		case congest.TagWeight:
+			w, deg := weightFields(m.P)
+			p.nbrW[i] = w
+			if d := int(deg) + 1; d > p.norm {
 				p.norm = d
 			}
-		case packingMsg:
-			p.nbrX[i] = float64(msg.tau) * math.Pow(1+p.eps, float64(msg.exp)) / float64(msg.norm)
-		case joinMsg:
+		case congest.TagPacking:
+			tau, exp, norm := packingFields(m.P)
+			p.nbrX[i] = float64(tau) * math.Pow(1+p.eps, float64(exp)) / float64(norm)
+		case congest.TagJoin:
 			p.nbrDom[i] = true
 			p.dom = true
-		case domMsg:
+		case congest.TagDom:
 			p.nbrDom[i] = true
-		case requestMsg:
+		case congest.TagRequest:
 			p.requested = true
 		}
 	}
@@ -103,7 +98,7 @@ func (p *udProc) allNeighborsDominated() bool {
 func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool {
 	switch p.st {
 	case 0:
-		s.Broadcast(weightMsg{w: p.ni.Weight, deg: int32(p.ni.Degree())})
+		s.Broadcast(packWeight(p.ni.Weight, int32(p.ni.Degree())))
 		p.norm = p.ni.Degree() + 1
 		p.st = 1
 		return false
@@ -120,7 +115,7 @@ func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 			p.norm = p.fixedNorm
 		}
 		p.x = float64(p.tau) / float64(p.norm)
-		s.Broadcast(packingMsg{tau: p.tau, exp: 0, norm: int32(p.norm)})
+		s.Broadcast(packPacking(p.tau, 0, int32(p.norm)))
 		p.st = 2
 		return false
 
@@ -130,7 +125,7 @@ func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 			if p.argmin == p.ni.ID {
 				p.inSP = true
 			} else {
-				s.Send(p.argmin, requestMsg{})
+				s.Send(p.argmin, packRequest())
 			}
 			p.dom = true // the τ-neighbor joins next round
 		}
@@ -138,7 +133,7 @@ func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 			p.inS = true
 			p.dom = true
 			p.domAnnounced = true
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		p.st = 3
 		return false
@@ -149,7 +144,7 @@ func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 			p.inSP = true
 			p.dom = true
 			p.domAnnounced = true
-			s.Broadcast(joinMsg{})
+			s.Broadcast(packJoin())
 		}
 		p.st = 4
 		return false
@@ -158,12 +153,12 @@ func (p *udProc) Step(round int, in []congest.Incoming, s *congest.Sender) bool 
 		p.absorb(in)
 		if p.dom && !p.domAnnounced {
 			p.domAnnounced = true
-			s.Broadcast(domMsg{})
+			s.Broadcast(packDom())
 		}
 		if !p.dom {
 			p.exp++
 			p.x *= 1 + p.eps
-			s.Broadcast(packingMsg{tau: p.tau, exp: int32(p.exp), norm: int32(p.norm)})
+			s.Broadcast(packPacking(p.tau, int32(p.exp), int32(p.norm)))
 		}
 		if p.dom && p.domAnnounced && p.allNeighborsDominated() {
 			return true

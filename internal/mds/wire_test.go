@@ -1,0 +1,125 @@
+package mds
+
+import (
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/graph"
+	"arbods/internal/rng"
+)
+
+// legacyWeightBits is the Message.Bits() accounting of the pre-packet
+// weightMsg, kept verbatim as the reference the packed cost must equal.
+func legacyWeightBits(w int64, deg int32) int {
+	return congest.MsgTagBits + congest.BitsInt(w) + congest.BitsUint(uint64(deg))
+}
+
+func legacyPackingBits(tau int64, exp, norm int32) int {
+	b := congest.MsgTagBits + congest.BitsInt(tau) + congest.BitsUint(uint64(exp))
+	if norm != 0 {
+		b += congest.BitsUint(uint64(norm))
+	}
+	return b
+}
+
+func legacyDegreeBits(deg int32) int {
+	return congest.MsgTagBits + congest.BitsUint(uint64(deg))
+}
+
+// TestWireRoundTrip checks, over randomized field values spanning the
+// full legal ranges (weights up to graph.MaxWeight, degrees and
+// exponents up to 2³¹−1), that every mds message round-trips through
+// pack/decode unchanged and that the packed bit cost equals the legacy
+// per-field accounting — so bandwidth budgets and MaxEdgeBits are
+// provably unchanged by the wire-format migration.
+func TestWireRoundTrip(t *testing.T) {
+	r := rng.New(123)
+	for i := 0; i < 20000; i++ {
+		w := 1 + int64(r.Uint64()%uint64(graph.MaxWeight))
+		deg := int32(r.Uint64() % (1 << 31))
+		tau := 1 + int64(r.Uint64()%uint64(graph.MaxWeight))
+		exp := int32(r.Uint64() % (1 << 31))
+		norm := int32(r.Uint64() % (1 << 31))
+		if i%7 == 0 {
+			norm = 0 // known-Δ form: normalizer omitted from the wire
+		}
+
+		p := packWeight(w, deg)
+		if gw, gd := weightFields(p); gw != w || gd != deg {
+			t.Fatalf("weight round-trip: got (%d,%d), want (%d,%d)", gw, gd, w, deg)
+		}
+		if p.Tag != congest.TagWeight || int(p.Bits) != legacyWeightBits(w, deg) {
+			t.Fatalf("weight bits: got %d, legacy %d", p.Bits, legacyWeightBits(w, deg))
+		}
+
+		p = packPacking(tau, exp, norm)
+		if gt, ge, gn := packingFields(p); gt != tau || ge != exp || gn != norm {
+			t.Fatalf("packing round-trip: got (%d,%d,%d), want (%d,%d,%d)", gt, ge, gn, tau, exp, norm)
+		}
+		if p.Tag != congest.TagPacking || int(p.Bits) != legacyPackingBits(tau, exp, norm) {
+			t.Fatalf("packing bits: got %d, legacy %d", p.Bits, legacyPackingBits(tau, exp, norm))
+		}
+
+		p = packDegree(deg)
+		if got := degreeFields(p); got != deg {
+			t.Fatalf("degree round-trip: got %d, want %d", got, deg)
+		}
+		if p.Tag != congest.TagDegree || int(p.Bits) != legacyDegreeBits(deg) {
+			t.Fatalf("degree bits: got %d, legacy %d", p.Bits, legacyDegreeBits(deg))
+		}
+	}
+
+	for _, tt := range []struct {
+		name string
+		p    congest.Packet
+		tag  congest.Tag
+	}{
+		{"join", packJoin(), congest.TagJoin},
+		{"request", packRequest(), congest.TagRequest},
+		{"dom", packDom(), congest.TagDom},
+	} {
+		if tt.p.Tag != tt.tag || tt.p.Bits != congest.MsgTagBits || tt.p.A != 0 || tt.p.B != 0 {
+			t.Fatalf("%s: tag-only packet malformed: %+v", tt.name, tt.p)
+		}
+	}
+}
+
+// FuzzPackPacking fuzzes the widest message (three fields sharing two
+// words) for round-trip fidelity and legacy-equal bit cost.
+func FuzzPackPacking(f *testing.F) {
+	f.Add(int64(1), int32(0), int32(0))
+	f.Add(int64(graph.MaxWeight), int32(1<<31-1), int32(1<<31-1))
+	f.Add(int64(7), int32(12), int32(0))
+	f.Fuzz(func(t *testing.T, tau int64, exp, norm int32) {
+		if tau < 0 || exp < 0 || norm < 0 {
+			t.Skip() // fields are nonnegative by construction in the algorithms
+		}
+		p := packPacking(tau, exp, norm)
+		gt, ge, gn := packingFields(p)
+		if gt != tau || ge != exp || gn != norm {
+			t.Fatalf("round-trip: got (%d,%d,%d), want (%d,%d,%d)", gt, ge, gn, tau, exp, norm)
+		}
+		if int(p.Bits) != legacyPackingBits(tau, exp, norm) {
+			t.Fatalf("bits: got %d, legacy %d", p.Bits, legacyPackingBits(tau, exp, norm))
+		}
+	})
+}
+
+// FuzzPackWeight fuzzes the weight announcement likewise.
+func FuzzPackWeight(f *testing.F) {
+	f.Add(int64(1), int32(0))
+	f.Add(int64(graph.MaxWeight), int32(1<<31-1))
+	f.Fuzz(func(t *testing.T, w int64, deg int32) {
+		if w < 0 || deg < 0 {
+			t.Skip()
+		}
+		p := packWeight(w, deg)
+		gw, gd := weightFields(p)
+		if gw != w || gd != deg {
+			t.Fatalf("round-trip: got (%d,%d), want (%d,%d)", gw, gd, w, deg)
+		}
+		if int(p.Bits) != legacyWeightBits(w, deg) {
+			t.Fatalf("bits: got %d, legacy %d", p.Bits, legacyWeightBits(w, deg))
+		}
+	})
+}

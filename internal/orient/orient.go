@@ -24,17 +24,14 @@ package orient
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"arbods/internal/congest"
 	"arbods/internal/graph"
 )
 
-// peelMsg announces that the sender peeled this iteration.
-type peelMsg struct{}
-
-// Bits implements congest.Message.
-func (peelMsg) Bits() int { return congest.MsgTagBits }
+// packPeel builds the peel announcement (congest.TagPeel): the sender
+// peeled this iteration. Tag-only wire word.
+func packPeel() congest.Packet { return congest.TagOnly(congest.TagPeel) }
 
 // Output is the per-node result of the orientation.
 type Output struct {
@@ -122,20 +119,14 @@ func NewProc(ni congest.NodeInfo, sched Schedule, eps float64) *Proc {
 	return p
 }
 
-func (p *Proc) idx(id int) int {
-	nb := p.NI.Neighbors
-	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(id) })
-	return i
-}
-
 // Absorb records peel announcements without advancing the schedule. After
 // the final Step, one more round's inbox must be absorbed: peels announced
 // in the last round are still in flight, and same-round ties are broken by
 // ID only when both endpoints know each other's layer.
 func (p *Proc) Absorb(in []congest.Incoming) {
 	for _, m := range in {
-		if _, ok := m.Msg.(peelMsg); ok {
-			if i := p.idx(m.From); p.nbrLayer[i] < 0 {
+		if m.P.Tag == congest.TagPeel {
+			if i := m.Idx; p.nbrLayer[i] < 0 {
 				p.nbrLayer[i] = p.round - 1
 				p.activeD--
 			}
@@ -154,7 +145,7 @@ func (p *Proc) Step(in []congest.Incoming, s *congest.Sender) (finished bool) {
 		if p.activeD <= p.Sched.threshold(phase, p.Eps) {
 			p.layer = p.round
 			p.estimate = p.Sched.Estimates[phase]
-			s.Broadcast(peelMsg{})
+			s.Broadcast(packPeel())
 		}
 	}
 	p.round++
