@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json bench-compare ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate ci
 
 build:
 	$(GO) build ./...
@@ -30,12 +30,13 @@ bench-json:
 	$(GO) run ./cmd/mdsbench -scale small -seed 1 -format json
 
 # Compare two committed engine-benchmark records (benchstat format). The
-# defaults pin the PR 1 interface-message engine against the PR 3 packed
-# wire-word engine; override with BENCH_OLD=/BENCH_NEW= to compare other
-# points on the trajectory. Uses benchstat when available (CI installs
-# it); falls back to printing both records side by side offline.
-BENCH_OLD ?= BENCH_2026-07-29_engine_pr1.txt
-BENCH_NEW ?= BENCH_2026-07-29_engine_pr3.txt
+# defaults pin the PR 3 packed wire-word engine against the PR 4
+# arena/flat-inbox/Runner engine; override with BENCH_OLD=/BENCH_NEW= to
+# compare other points on the trajectory (PR 1's record is also
+# committed). Uses benchstat when available (CI installs it); falls back
+# to printing both records side by side offline.
+BENCH_OLD ?= BENCH_2026-07-29_engine_pr3.txt
+BENCH_NEW ?= BENCH_2026-07-29_engine_pr4.txt
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(BENCH_OLD) $(BENCH_NEW); \
@@ -45,5 +46,13 @@ bench-compare:
 		echo "--- $(BENCH_OLD)"; grep Benchmark $(BENCH_OLD); \
 		echo "--- $(BENCH_NEW)"; grep Benchmark $(BENCH_NEW); \
 	fi
+
+# Allocation-regression gate: a mid-size run must stay within the
+# testing.AllocsPerRun ceilings of TestAllocationCeiling (O(1) allocs on a
+# reused Runner; far below one-per-node transient). Runs inside the normal
+# test suite too; this target exists so CI (and humans) can exercise it
+# explicitly next to bench-compare.
+alloc-gate:
+	$(GO) test ./internal/congest/ -run TestAllocationCeiling -count=1 -v
 
 ci: build vet fmt-check race

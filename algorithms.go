@@ -52,6 +52,23 @@ func WithRoundStats() Option { return congest.WithRoundStats() }
 // Report.Result.MessageStats.
 func WithMessageStats() Option { return congest.WithMessageStats() }
 
+// Runner is reusable simulator state: the worker pool, the run arenas, and
+// the graph-derived routing tables, amortized across runs. Create one with
+// NewRunner, pass it to every run with WithRunner, and Close it when done.
+// Reuse across different graphs and different algorithms is fine; runs
+// sharing a Runner must be sequential. Results are identical with or
+// without one — a Runner only removes per-run setup cost.
+type Runner = congest.Runner
+
+// NewRunner returns an empty Runner; state is built lazily by the first
+// run it serves and reused afterwards. This is the serving pattern: one
+// Runner per worker loop, many runs.
+func NewRunner() *Runner { return congest.NewRunner() }
+
+// WithRunner executes the run on a reusable Runner instead of transient
+// per-run state.
+func WithRunner(r *Runner) Option { return congest.WithRunner(r) }
+
 // UnweightedDeterministic runs the Section 3 algorithm (Theorem 3.1):
 // deterministic (2α+1)(1+ε)-approximate dominating set on unweighted graphs
 // with arboricity ≤ alpha in O(log(Δ/α)/ε) CONGEST rounds.

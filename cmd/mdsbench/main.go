@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"arbods/internal/bench"
+	"arbods/internal/congest"
 )
 
 func main() {
@@ -50,7 +51,13 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := bench.Config{Seed: *seed, Reps: *reps}
+	// One reusable Runner serves every simulator run of the sweep: the
+	// worker pool, arenas, and flat inbox arrays are built once and
+	// amortized across all experiments — the serving pattern the engine
+	// is designed around.
+	runner := congest.NewRunner()
+	defer runner.Close()
+	cfg := bench.Config{Seed: *seed, Reps: *reps, Runner: runner}
 	switch *scale {
 	case "small":
 		cfg.Scale = bench.Small

@@ -48,4 +48,23 @@
 // graph build time, so the hot path does no searching, boxing, or
 // reflection. Runs are deterministic given WithSeed, independent of
 // WithWorkers.
+//
+// # Serving pattern
+//
+// Run state — the worker pool, the run arenas that per-node state carves
+// from, flat inbox/outbox backing arrays, and graph-derived routing
+// tables — lives on a reusable Runner. A plain run builds a transient one;
+// callers that execute many runs (sweeps, repeated requests, benchmark
+// loops) should create one Runner and pass it to every run:
+//
+//	r := arbods.NewRunner()
+//	defer r.Close()
+//	for _, seed := range seeds {
+//		rep, err := arbods.WeightedDeterministic(g, alpha, eps,
+//			arbods.WithSeed(seed), arbods.WithRunner(r))
+//		...
+//	}
+//
+// Repeated runs on the same graph then allocate O(1) memory regardless of
+// n and message volume, and results are identical to transient runs.
 package arbods

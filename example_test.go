@@ -25,6 +25,48 @@ func ExampleWeightedDeterministic() {
 	// certified: true
 }
 
+// ExampleNewRunner is the serving pattern: one reusable Runner carries the
+// worker pool, the run arenas, and the graph-derived routing tables across
+// many runs, so repeated requests — parameter sweeps, per-seed replicas,
+// different algorithms, even different graphs — pay the simulator's setup
+// cost once. Results are identical to transient runs.
+func ExampleNewRunner() {
+	w := arbods.ForestUnion(500, 2, 7)
+	g := arbods.UniformWeights(w.G, 50, 3)
+
+	r := arbods.NewRunner()
+	defer r.Close()
+
+	var weights []int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		rep, err := arbods.WeightedRandomized(g, w.ArboricityBound, 2,
+			arbods.WithSeed(seed), arbods.WithRunner(r))
+		if err != nil {
+			panic(err)
+		}
+		weights = append(weights, rep.DSWeight)
+	}
+	// The same Runner serves a different algorithm on the same graph…
+	det, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.25,
+		arbods.WithSeed(1), arbods.WithRunner(r))
+	if err != nil {
+		panic(err)
+	}
+	// …and a transient run (no Runner) produces the identical result.
+	solo, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.25,
+		arbods.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("runs served:", len(weights)+1)
+	fmt.Println("reused == transient:", det.DSWeight == solo.DSWeight && det.Rounds() == solo.Rounds())
+	fmt.Println("certified:", arbods.Certify(g, det) == nil)
+	// Output:
+	// runs served: 4
+	// reused == transient: true
+	// certified: true
+}
+
 // ExampleTreeThreeApprox shows the one-round Appendix A algorithm against
 // the exact forest optimum.
 func ExampleTreeThreeApprox() {

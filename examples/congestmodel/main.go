@@ -19,9 +19,17 @@ func main() {
 	w := arbods.ForestUnion(1200, 3, 11)
 	g := arbods.UniformWeights(w.G, 200, 5)
 
+	// This example runs the same workload six times under different
+	// models and worker counts — exactly the repeated-runs pattern a
+	// reusable Runner is for: the worker pool, run arenas, and routing
+	// tables are built once and shared by every run below.
+	r := arbods.NewRunner()
+	defer r.Close()
+
 	// A strict CONGEST run with full accounting.
 	rep, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithRoundStats(), arbods.WithMessageStats())
+		arbods.WithSeed(7), arbods.WithRunner(r),
+		arbods.WithRoundStats(), arbods.WithMessageStats())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,11 +57,11 @@ func main() {
 	// The same algorithm under an absurdly tight budget fails in strict
 	// mode and records violations in audit mode.
 	if _, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithBandwidth(8)); err != nil {
+		arbods.WithSeed(7), arbods.WithRunner(r), arbods.WithBandwidth(8)); err != nil {
 		fmt.Printf("\n8-bit budget, strict mode: %v\n", err)
 	}
 	audit, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithBandwidth(8), arbods.WithMode(arbods.CongestAudit))
+		arbods.WithSeed(7), arbods.WithRunner(r), arbods.WithBandwidth(8), arbods.WithMode(arbods.CongestAudit))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +71,7 @@ func main() {
 	// LOCAL mode lifts the limit entirely (the Theorem 1.4 lower bound
 	// holds even there).
 	local, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithMode(arbods.Local))
+		arbods.WithSeed(7), arbods.WithRunner(r), arbods.WithMode(arbods.Local))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,12 +80,12 @@ func main() {
 
 	// Determinism: 1 worker and 8 workers produce identical outputs.
 	seq, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithWorkers(1))
+		arbods.WithSeed(7), arbods.WithRunner(r), arbods.WithWorkers(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	par, err := arbods.WeightedDeterministic(g, w.ArboricityBound, 0.2,
-		arbods.WithSeed(7), arbods.WithWorkers(8))
+		arbods.WithSeed(7), arbods.WithRunner(r), arbods.WithWorkers(8))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -163,18 +163,18 @@ func KW05(g *graph.Graph, k int, opts ...congest.Option) (*mds.Report, float64, 
 	if k < 1 {
 		return nil, 0, fmt.Errorf("baseline: k must be ≥ 1, got %d", k)
 	}
-	procs := make([]*kwProc, 0, g.N())
+	slab := make([]kwProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[mds.Output] {
-		p := &kwProc{
+		p := &slab[ni.ID]
+		*p = kwProc{
 			ni:      ni,
 			k:       k,
-			nbrX:    make([]float64, ni.Degree()),
-			nbrFCov: make([]bool, ni.Degree()),
+			nbrX:    ni.Arena.Float64s(ni.Degree()),
+			nbrFCov: ni.Arena.Bools(ni.Degree()),
 			mIdx:    -1,
 			l:       k - 1,
 			m:       k - 1,
 		}
-		procs = append(procs, p)
 		return p
 	}
 	all := append(append([]congest.Option{}, opts...), congest.WithKnownMaxDegree())
@@ -186,8 +186,8 @@ func KW05(g *graph.Graph, k int, opts ...congest.Option) (*mds.Report, float64, 
 	// race-free (the factory runs before round 0; the engine joins all its
 	// workers before returning).
 	var fracTotal float64
-	for _, p := range procs {
-		fracTotal += p.x
+	for i := range slab {
+		fracTotal += slab[i].x
 	}
 	rep := mds.NewReport("kw05", res, g)
 	return rep, fracTotal, nil

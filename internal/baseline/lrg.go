@@ -188,12 +188,19 @@ func LRGRandomized(g *graph.Graph, opts ...congest.Option) (*mds.Report, error) 
 	if !g.Unweighted() {
 		return nil, fmt.Errorf("baseline: LRGRandomized requires unit weights")
 	}
+	slab := make([]lrgProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[mds.Output] {
-		return &lrgProc{
+		p := &slab[ni.ID]
+		*p = lrgProc{
 			ni:         ni,
-			nbrCov:     make([]bool, ni.Degree()),
-			statusSpan: make([]int32, ni.Degree()),
+			nbrCov:     ni.Arena.Bools(ni.Degree()),
+			statusSpan: ni.Arena.Int32s(ni.Degree()),
+			// One support per uncovered closed neighbor can arrive per
+			// iteration; carving deg+1 slots keeps the per-round appends
+			// inside the arena (truncate-and-refill, no growth).
+			supports: ni.Arena.Int32s(ni.Degree() + 1)[:0],
 		}
+		return p
 	}
 	res, err := congest.Run(g, factory, opts...)
 	if err != nil {

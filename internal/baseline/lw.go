@@ -90,13 +90,16 @@ func LWDeterministic(g *graph.Graph, opts ...congest.Option) (*mds.Report, error
 	for 1<<uint(phases) < g.MaxDegree()+1 {
 		phases++
 	}
+	slab := make([]lwProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[mds.Output] {
-		return &lwProc{
+		p := &slab[ni.ID]
+		*p = lwProc{
 			ni:     ni,
-			nbrCov: make([]bool, ni.Degree()),
+			nbrCov: ni.Arena.Bools(ni.Degree()),
 			phase:  phases,
 			inJoin: true,
 		}
+		return p
 	}
 	all := append(append([]congest.Option{}, opts...), congest.WithKnownMaxDegree())
 	res, err := congest.Run(g, factory, all...)

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math"
+
+	"arbods/internal/congest"
 )
 
 // Scale selects the experiment sizes.
@@ -24,6 +26,24 @@ type Config struct {
 	// Reps overrides the number of repetitions for randomized algorithms
 	// (0 = scale default: 3 for Small, 5 for Full).
 	Reps int
+	// Runner, when set, is the reusable simulator state every CONGEST run
+	// of the experiments executes on (congest.WithRunner): the worker
+	// pool, arenas, and flat inbox arrays are then amortized across the
+	// whole experiment sweep instead of being rebuilt per run. The caller
+	// owns it (and its Close); nil keeps each run on transient state.
+	Runner *congest.Runner
+}
+
+// opts returns the simulator options every experiment run starts from: the
+// given seed plus the shared Runner when one is configured. Experiments
+// append run-specific options after it.
+func (c Config) opts(seed uint64, extra ...congest.Option) []congest.Option {
+	o := make([]congest.Option, 0, 2+len(extra))
+	o = append(o, congest.WithSeed(seed))
+	if c.Runner != nil {
+		o = append(o, congest.WithRunner(c.Runner))
+	}
+	return append(o, extra...)
 }
 
 func (c Config) pick(small, full int) int {

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"arbods/internal/baseline"
-	"arbods/internal/congest"
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 	"arbods/internal/mds"
@@ -70,25 +69,25 @@ func E1Comparison(cfg Config) ([]*Table, error) {
 		{
 			name: "this paper, det (Thm 1.1)", approx: "(2α+1)(1+ε)", rounds: "O(log(Δ/α)/ε)",
 			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return mds.UnweightedDeterministic(g, alpha, eps, congest.WithSeed(seed))
+				return mds.UnweightedDeterministic(g, alpha, eps, cfg.opts(seed)...)
 			},
 		},
 		{
 			name: "this paper, rand (Thm 1.2, t=2)", approx: "α+O(α/t)", rounds: "O(t·log Δ)",
 			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return mds.WeightedRandomized(g, alpha, 2, congest.WithSeed(seed))
+				return mds.WeightedRandomized(g, alpha, 2, cfg.opts(seed)...)
 			},
 		},
 		{
 			name: "LW10-style det bucket", approx: "O(α·log Δ)", rounds: "O(log Δ)",
 			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return baseline.LWDeterministic(g, congest.WithSeed(seed))
+				return baseline.LWDeterministic(g, cfg.opts(seed)...)
 			},
 		},
 		{
 			name: "LRG rand (JRS02)", approx: "O(log Δ) exp.", rounds: "O(log n·log Δ)",
 			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return baseline.LRGRandomized(g, congest.WithSeed(seed))
+				return baseline.LRGRandomized(g, cfg.opts(seed)...)
 			},
 		},
 	}
@@ -155,7 +154,7 @@ func E2RoundsVsDelta(cfg Config) ([]*Table, error) {
 	prevRounds := 0
 	for i, l := range leaves {
 		w := gen.Broom(pathLen, l)
-		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, congest.WithSeed(cfg.Seed))
+		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +182,7 @@ func E2RoundsVsDelta(cfg Config) ([]*Table, error) {
 	}
 	for _, pl := range []int{128, 1024, 8192, cfg.pick(16384, 131072)} {
 		w := gen.Broom(pl, 128)
-		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, congest.WithSeed(cfg.Seed))
+		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
@@ -208,11 +207,11 @@ func E3ApproxVsEpsilon(cfg Config) ([]*Table, error) {
 		big := gen.ForestUnion(n, alpha, cfg.Seed+uint64(alpha))
 		small := gen.ForestUnion(40, alpha, cfg.Seed+100+uint64(alpha))
 		for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
-			rep, err := mds.UnweightedDeterministic(big.G, alpha, eps, congest.WithSeed(cfg.Seed))
+			rep, err := mds.UnweightedDeterministic(big.G, alpha, eps, cfg.opts(cfg.Seed)...)
 			if err != nil {
 				return nil, err
 			}
-			repS, err := mds.UnweightedDeterministic(small.G, alpha, eps, congest.WithSeed(cfg.Seed))
+			repS, err := mds.UnweightedDeterministic(small.G, alpha, eps, cfg.opts(cfg.Seed)...)
 			if err != nil {
 				return nil, err
 			}
@@ -251,7 +250,7 @@ func E4TradeoffT(cfg Config) ([]*Table, error) {
 	}
 	// The deterministic run's packing (largest ε) is the strongest
 	// Lemma 2.1 lower bound available; use it as the common denominator.
-	det, err := mds.WeightedDeterministic(g, alpha, 0.25, congest.WithSeed(cfg.Seed))
+	det, err := mds.WeightedDeterministic(g, alpha, 0.25, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +266,7 @@ func E4TradeoffT(cfg Config) ([]*Table, error) {
 	for _, tt := range []int{1, 2, 3, 4} {
 		r := row{label: fmtI(tt)}
 		for rep := 0; rep < cfg.reps(); rep++ {
-			rr, err := mds.WeightedRandomized(g, alpha, tt, congest.WithSeed(cfg.Seed+uint64(1000*rep)))
+			rr, err := mds.WeightedRandomized(g, alpha, tt, cfg.opts(cfg.Seed+uint64(1000*rep))...)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +328,7 @@ func E5GeneralK(cfg Config) ([]*Table, error) {
 		tRow := row{k: k, algo: "Thm 1.3"}
 		var gamma float64
 		for rep := 0; rep < cfg.reps(); rep++ {
-			r, err := mds.GeneralGraphs(g, k, congest.WithSeed(cfg.Seed+uint64(999*rep)))
+			r, err := mds.GeneralGraphs(g, k, cfg.opts(cfg.Seed+uint64(999*rep))...)
 			if err != nil {
 				return nil, err
 			}
@@ -348,7 +347,7 @@ func E5GeneralK(cfg Config) ([]*Table, error) {
 
 		kRow := row{k: k, algo: "KW05-style"}
 		for rep := 0; rep < cfg.reps(); rep++ {
-			r, _, err := baseline.KW05(g, k, congest.WithSeed(cfg.Seed+uint64(777*rep)))
+			r, _, err := baseline.KW05(g, k, cfg.opts(cfg.Seed+uint64(777*rep))...)
 			if err != nil {
 				return nil, err
 			}

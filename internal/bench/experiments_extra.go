@@ -30,19 +30,19 @@ func E8UnknownParams(cfg Config) ([]*Table, error) {
 			"Remark 4.5's orientation prefix uses doubling estimates on a fixed schedule: O(log α·log n/ε) rounds versus the remark's O(log n/ε) sketch (DESIGN.md §5.2); its certificate factor is per-node and therefore not a single number.",
 		},
 	}
-	known, err := mds.WeightedDeterministic(g, alpha, eps, congest.WithSeed(cfg.Seed))
+	known, err := mds.WeightedDeterministic(g, alpha, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("Theorem 1.1", "n, Δ, α", fmtI(known.Rounds()), fmtI64(known.Messages()),
 		fmtF(known.CertifiedRatio()), fmtF(known.Factor))
-	ud, err := mds.UnknownDelta(g, alpha, eps, congest.WithSeed(cfg.Seed))
+	ud, err := mds.UnknownDelta(g, alpha, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("Remark 4.4", "n, α", fmtI(ud.Rounds()), fmtI64(ud.Messages()),
 		fmtF(ud.CertifiedRatio()), fmtF(ud.Factor))
-	ua, err := mds.UnknownAlpha(g, eps, congest.WithSeed(cfg.Seed))
+	ua, err := mds.UnknownAlpha(g, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 	lambdaMax := 1 / (float64(alpha+1) * (1 + eps))
 	for _, frac := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
 		lambda := frac * lambdaMax
-		rep, err := mds.PartialWeighted(g, alpha, eps, lambda, congest.WithSeed(cfg.Seed))
+		rep, err := mds.PartialWeighted(g, alpha, eps, lambda, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
@@ -107,14 +107,14 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 			"without the freeze, Σx can exceed OPT, so w/Σx is no longer an upper bound on the true approximation ratio.",
 		},
 	}
-	normal, err := mds.WeightedDeterministic(g, alpha, eps, congest.WithSeed(cfg.Seed))
+	normal, err := mds.WeightedDeterministic(g, alpha, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	frozen := packingOf(normal)
 	tb.AddRow("paper (freeze)", boolCell(verify.PackingFeasible(g, frozen, verify.DefaultTol) == nil),
 		fmtF(normal.PackingSum), fmtI64(normal.DSWeight), fmtF(normal.CertifiedRatio()), "yes (Lemma 2.1)")
-	noFreeze, err := mds.AblationNoFreeze(g, alpha, eps, congest.WithSeed(cfg.Seed))
+	noFreeze, err := mds.AblationNoFreeze(g, alpha, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -137,17 +137,17 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 			fmtI64(rep.Result.BandwidthViolations))
 	}
 	addCompliance("Theorem 1.1", normal)
-	rand12, err := mds.WeightedRandomized(g, alpha, 2, congest.WithSeed(cfg.Seed))
+	rand12, err := mds.WeightedRandomized(g, alpha, 2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	addCompliance("Theorem 1.2 (t=2)", rand12)
-	gg, err := mds.GeneralGraphs(g, 2, congest.WithSeed(cfg.Seed))
+	gg, err := mds.GeneralGraphs(g, 2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	addCompliance("Theorem 1.3 (k=2)", gg)
-	ud, err := mds.UnknownDelta(g, alpha, eps, congest.WithSeed(cfg.Seed))
+	ud, err := mds.UnknownDelta(g, alpha, eps, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 		},
 	}
 	traced, err := mds.WeightedRandomized(g, alpha, 2,
-		congest.WithSeed(cfg.Seed), congest.WithMessageStats())
+		cfg.opts(cfg.Seed, congest.WithMessageStats())...)
 	if err != nil {
 		return nil, err
 	}
@@ -191,10 +191,10 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 		run  func(seed uint64) (*mds.Report, error)
 	}{
 		{"Theorem 1.2 (t=2)", func(seed uint64) (*mds.Report, error) {
-			return mds.WeightedRandomized(g, alpha, 2, congest.WithSeed(seed))
+			return mds.WeightedRandomized(g, alpha, 2, cfg.opts(seed)...)
 		}},
 		{"Theorem 1.3 (k=2)", func(seed uint64) (*mds.Report, error) {
-			return mds.GeneralGraphs(g, 2, congest.WithSeed(seed))
+			return mds.GeneralGraphs(g, 2, cfg.opts(seed)...)
 		}},
 	} {
 		var total, count float64
@@ -260,7 +260,7 @@ func E10Weighted(cfg Config) ([]*Table, error) {
 		{"degree-proportional", gen.DegreeWeights(base.G, 10, cfg.Seed+4)},
 	}
 	for _, rg := range regimes {
-		rep, err := mds.WeightedDeterministic(rg.g, alpha, eps, congest.WithSeed(cfg.Seed))
+		rep, err := mds.WeightedDeterministic(rg.g, alpha, eps, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 
 	"arbods/internal/arbor"
 	"arbods/internal/baseline"
-	"arbods/internal/congest"
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 	"arbods/internal/lower"
@@ -67,7 +66,7 @@ func E6LowerBound(cfg Config) ([]*Table, error) {
 	ta.AddRow("Nash–Williams bracket", "α ∈ [lo,hi]", "lo ≤ 2 ≤ hi?", fmt.Sprintf("[%d,%d]", lo, hi), boolCell(lo <= 2 && hi >= 1))
 
 	// --- E6b: the reduction ---
-	rep, err := mds.UnweightedDeterministic(c.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	rep, err := mds.UnweightedDeterministic(c.H, 2, 0.2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -110,12 +109,12 @@ func E6LowerBound(cfg Config) ([]*Table, error) {
 			"shrinking the iteration budget collapses the packing phase and the self-completion step balloons — locality costs approximation, exactly the trade-off the lower bound forbids escaping.",
 		},
 	}
-	full, err := mds.UnweightedDeterministic(c.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	full, err := mds.UnweightedDeterministic(c.H, 2, 0.2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	for _, iters := range []int{1, 2, 4, 8, 16} {
-		r, err := mds.TruncatedUnweighted(c.H, 2, 0.2, iters, congest.WithSeed(cfg.Seed))
+		r, err := mds.TruncatedUnweighted(c.H, 2, 0.2, iters, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +139,7 @@ func E6LowerBound(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lrep, err := mds.UnweightedDeterministic(lc.H, 2, 0.2, congest.WithSeed(cfg.Seed))
+	lrep, err := mds.UnweightedDeterministic(lc.H, 2, 0.2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +220,18 @@ func E7Trees(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tri, err := mds.TreeThreeApprox(w.G, congest.WithSeed(cfg.Seed))
+		tri, err := mds.TreeThreeApprox(w.G, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
 		if float64(tri.DSWeight) > 3*float64(opt.Weight) {
 			return nil, fmt.Errorf("E7: 3-approximation violated on %s: %d vs OPT %d", w.Name, tri.DSWeight, opt.Weight)
 		}
-		det, err := mds.UnweightedDeterministic(w.G, 1, 0.2, congest.WithSeed(cfg.Seed))
+		det, err := mds.UnweightedDeterministic(w.G, 1, 0.2, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
-		lw, err := baseline.LWDeterministic(w.G, congest.WithSeed(cfg.Seed))
+		lw, err := baseline.LWDeterministic(w.G, cfg.opts(cfg.Seed)...)
 		if err != nil {
 			return nil, err
 		}
@@ -250,14 +249,14 @@ func E7Trees(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tri, err := mds.TreeThreeApprox(big.G, congest.WithSeed(cfg.Seed))
+	tri, err := mds.TreeThreeApprox(big.G, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}
 	if float64(tri.DSWeight) > 3*float64(bigOpt.Weight) {
 		return nil, fmt.Errorf("E7: 3-approximation violated on %s", big.Name)
 	}
-	det, err := mds.UnweightedDeterministic(big.G, 1, 0.2, congest.WithSeed(cfg.Seed))
+	det, err := mds.UnweightedDeterministic(big.G, 1, 0.2, cfg.opts(cfg.Seed)...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package congest_test
+
+import (
+	"testing"
+
+	"arbods/internal/congest"
+	"arbods/internal/gen"
+)
+
+// allocGraph is the mid-size instance the allocation gate runs on: 20k
+// nodes, avg degree ≈ 4, ≈ 120k routed messages per run — big enough that
+// any per-node or per-message allocation regression multiplies into the
+// tens of thousands and trips the ceilings below immediately.
+const allocGraphN = 20_000
+
+// TestAllocationCeiling is the allocation-regression gate (wired into CI
+// next to `make bench-compare` via `make alloc-gate`). It asserts two
+// ceilings with testing.AllocsPerRun:
+//
+//   - a run on a reused Runner must stay O(1) in n: procs slab + proc
+//     interface slice + result assembly, nothing per node, nothing per
+//     message. The ceiling (64) is ~3× the measured steady state, so it
+//     tolerates runtime noise but not a per-node make slipping back in.
+//   - a transient run (no Runner) additionally pays the run-scoped
+//     buffers, but still nothing per message and only O(1) slices sized
+//     by n — far below one alloc per node.
+//
+// If this test starts failing after an engine change, something in the
+// step/route/proc-construction path allocates again; see ROADMAP.md's
+// allocation trajectory before raising a ceiling.
+func TestAllocationCeiling(t *testing.T) {
+	g := gen.ErdosRenyi(allocGraphN, 4/float64(allocGraphN), 1).G
+	factory := func(slab []echoProc) congest.Factory[int64] {
+		return func(ni congest.NodeInfo) congest.Proc[int64] {
+			p := &slab[ni.ID]
+			*p = echoProc{ni: ni, rounds: 2}
+			return p
+		}
+	}
+
+	r := congest.NewRunner()
+	defer r.Close()
+	run := func(opts ...congest.Option) {
+		slab := make([]echoProc, g.N())
+		res, err := congest.Run(g, factory(slab),
+			append([]congest.Option{congest.WithSeed(1), congest.WithWorkers(1)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages == 0 {
+			t.Fatal("no traffic routed")
+		}
+	}
+
+	run(congest.WithRunner(r)) // warm the Runner's buffers once
+	reused := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r)) })
+	t.Logf("allocs/run on a warm Runner: %.0f", reused)
+	if reused > 64 {
+		t.Errorf("reused-Runner run allocates %.0f times (ceiling 64): per-node or per-message allocation crept back into the engine", reused)
+	}
+
+	transient := testing.AllocsPerRun(3, func() { run() })
+	t.Logf("allocs/run transient: %.0f", transient)
+	if ceiling := float64(allocGraphN) / 100; transient > ceiling {
+		t.Errorf("transient run allocates %.0f times (ceiling %.0f = n/100): run setup is no longer slab-based", transient, ceiling)
+	}
+}

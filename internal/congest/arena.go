@@ -1,0 +1,125 @@
+package congest
+
+// Arena is a run-scoped typed-slab allocator. A run allocates a handful of
+// large backing blocks (sized, in practice, by n and the 2m directed edge
+// slots of the graph) and carves per-node slices out of them, so the
+// per-node `make` calls that used to dominate a run's allocation count —
+// one neighbor cache per node per algorithm — collapse into a few block
+// allocations that a reused Runner amortizes across runs.
+//
+// Procs reach the arena through NodeInfo.Arena and must carve only while
+// their Factory runs (the engine constructs procs sequentially before
+// round 0; Step executes on worker goroutines, and the arena is not
+// goroutine-safe). Carved slices are zeroed, are valid for the duration of
+// the run, and must not be referenced from a Result — the owning Runner
+// recycles the blocks on its next run. A nil *Arena falls back to plain
+// make, so procs built outside an engine run (tests, direct construction)
+// keep working.
+type Arena struct {
+	f64   slab[float64]
+	i64   slab[int64]
+	i32   slab[int32]
+	ints  slab[int]
+	bools slab[bool]
+}
+
+// Float64s carves a zeroed []float64 of length and capacity n.
+func (a *Arena) Float64s(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.f64.alloc(n)
+}
+
+// Int64s carves a zeroed []int64 of length and capacity n.
+func (a *Arena) Int64s(n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	return a.i64.alloc(n)
+}
+
+// Int32s carves a zeroed []int32 of length and capacity n.
+func (a *Arena) Int32s(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.i32.alloc(n)
+}
+
+// Ints carves a zeroed []int of length and capacity n.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.ints.alloc(n)
+}
+
+// Bools carves a zeroed []bool of length and capacity n.
+func (a *Arena) Bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	return a.bools.alloc(n)
+}
+
+// Reset recycles every block for the next run: carve cursors rewind and the
+// used memory is re-zeroed, so the next run's carves see zero values again.
+// The caller (the Runner) must guarantee no slice carved before the Reset
+// is still in use.
+func (a *Arena) Reset() {
+	a.f64.reset()
+	a.i64.reset()
+	a.i32.reset()
+	a.ints.reset()
+	a.bools.reset()
+}
+
+// slab is one element type's block list. Blocks are retained across resets
+// and grow geometrically, so a warmed-up slab allocates nothing.
+type slab[T any] struct {
+	blocks [][]T
+	bi     int // block currently being carved
+	off    int // carve offset within blocks[bi]
+}
+
+// minSlabBlock is the smallest block a slab allocates; tiny runs shouldn't
+// fragment into one block per carve.
+const minSlabBlock = 1024
+
+func (s *slab[T]) alloc(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	for s.bi < len(s.blocks) {
+		if b := s.blocks[s.bi]; s.off+n <= len(b) {
+			out := b[s.off : s.off+n : s.off+n]
+			s.off += n
+			return out
+		}
+		s.bi++
+		s.off = 0
+	}
+	size := minSlabBlock
+	if len(s.blocks) > 0 {
+		// Geometric growth keeps the block count logarithmic in the total
+		// carved volume, whatever mix of sizes the procs request.
+		size = 2 * len(s.blocks[len(s.blocks)-1])
+	}
+	if size < n {
+		size = n
+	}
+	s.blocks = append(s.blocks, make([]T, size))
+	s.off = n
+	return s.blocks[s.bi][0:n:n]
+}
+
+func (s *slab[T]) reset() {
+	// Re-zero every block that was touched (blocks past bi were never
+	// carved this cycle). Fresh blocks come zeroed from make, so alloc can
+	// hand out slices without a per-carve clear.
+	for i := 0; i <= s.bi && i < len(s.blocks); i++ {
+		clear(s.blocks[i])
+	}
+	s.bi, s.off = 0, 0
+}

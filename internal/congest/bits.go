@@ -4,6 +4,14 @@ import "math/bits"
 
 // MsgTagBits is the bit cost charged for a message's type tag. With fewer
 // than 16 message types in the library, 4 bits suffice.
+//
+// This is the escape hatch if a future algorithm needs a 16th library
+// message type: widen MsgTagBits (every message's accounted size then
+// grows by the extra header bits — the wire round-trip tests in
+// mds/baseline and the pinned transcripts will surface the accounting
+// change, which must be accepted deliberately, not silently). The
+// compile-time check in packet.go and TestTagSpaceHeadroom guard the
+// current budget.
 const MsgTagBits = 4
 
 // BitsUint returns the number of bits needed to encode x (at least 1).

@@ -32,6 +32,20 @@
 // read from the graph's precomputed reverse-edge index
 // (graph.ReverseIndex), which replaces the O(log deg) binary search
 // receivers used to pay per message.
+//
+// # Run state
+//
+// All run-scoped state lives on a Runner: the worker pool, the sender
+// tables and their single outbox backing slab, the flat per-shard inbox
+// arrays (CSR-style: per-receiver offsets computed from each round's send
+// counts, delivery is a value copy into one backing array), the per-node
+// random streams (embedded by value in NodeInfo and seeded in place by
+// rng.Init), and an Arena that procs carve their neighbor caches from. A
+// plain Run builds a transient Runner and discards it; serving-style
+// callers create one Runner, pass it to every run with WithRunner, and
+// amortize all of the setup — repeated runs on the same graph allocate
+// almost nothing beyond the procs themselves. Transcripts are identical
+// either way.
 package congest
 
 import (
@@ -70,8 +84,20 @@ type NodeInfo struct {
 	MaxDegree int
 	// Arboricity is (an upper bound on) α if assumed known, else 0.
 	Arboricity int
-	// Rand is the node's private random stream.
-	Rand *rng.Stream
+	// Rand is the node's private random stream, embedded by value: the
+	// proc that stores this NodeInfo owns the stream state in place, with
+	// no per-node heap object behind a pointer. Because it is a value,
+	// copying a NodeInfo forks the stream — a composite proc that embeds
+	// several sub-procs each holding a NodeInfo copy must draw randomness
+	// from exactly one of them, or the identically-seeded copies will emit
+	// correlated sequences.
+	Rand rng.Stream
+	// Arena is the run-scoped slab allocator for per-node state (neighbor
+	// caches and similar degree-sized scratch). Carve only while the
+	// Factory runs; see Arena for the lifetime contract. Nil when the proc
+	// is constructed outside an engine run — the carve methods then fall
+	// back to plain make.
+	Arena *Arena
 }
 
 // Degree returns the node's degree.
@@ -127,6 +153,7 @@ type config struct {
 	arboricity int  // expose α in NodeInfo when > 0
 	roundStats bool
 	msgStats   bool
+	runner     *Runner // nil = transient per-run state
 }
 
 // Option configures a run.
@@ -309,7 +336,9 @@ func (s *Sender) neighborPos(v int) int {
 
 // Run executes the algorithm built by factory on g and returns the outputs
 // and transcript statistics. The transcript is bit-identical for every
-// worker count: see engine.go for the phase structure that guarantees it.
+// worker count (see engine.go for the phase structure that guarantees it)
+// and independent of whether the run executes on transient state or on a
+// reused Runner (WithRunner).
 func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O], error) {
 	cfg := config{
 		mode:      Congest,
@@ -322,8 +351,16 @@ func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O],
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
-	e := newEngine(g, factory, cfg)
-	defer e.close()
+	r := cfg.runner
+	transient := r == nil
+	if transient {
+		r = NewRunner()
+	}
+	e, err := newEngine(r, g, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(transient)
 	return e.run()
 }
 

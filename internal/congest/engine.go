@@ -12,8 +12,12 @@ import (
 // the barrier cost dwarfs the per-node work.
 const parallelStepMin = 64
 
-// engine holds one run's state, shared by the sequential and parallel
-// paths. The round loop alternates two phases with a barrier between:
+// engine is the per-run, output-typed veneer over a Runner. The Runner
+// (embedded) owns everything O-independent — senders, done flags, shard
+// layout, flat inbox arrays, outbox slab, worker pool, arena — and persists
+// across runs; the engine adds the run's config, the procs, and the result.
+//
+// The round loop alternates two phases with a barrier between:
 //
 //   - step: workers step disjoint node ranges (each node touches only
 //     its own proc, inbox and sender, so shards race on nothing);
@@ -23,32 +27,27 @@ const parallelStepMin = 64
 //     order and outboxes preserve send order — ends up ordered by
 //     (sender ID, send index), exactly the sequential engine's order.
 //
-// All scratch (outboxes, inboxes, edge-bit accounting, worker
-// goroutines) is allocated once per run and reused across rounds.
+// All scratch (outbox slab, flat inbox arrays, edge-bit accounting, worker
+// goroutines) lives on the Runner and is reused across rounds and runs.
 type engine[O any] struct {
+	*Runner
 	cfg    config
 	budget int
-	n      int
 	round  int
 
-	procs   []Proc[O]
-	senders []Sender
-	done    []bool
-	inbox   [][]Incoming
-	next    [][]Incoming
+	procs []Proc[O]
+	res   *Result[O]
 
-	res *Result[O]
-
-	pool      *pool // nil when running sequentially
-	steps     []stepShard
-	routes    []routeShard
 	stepTask  func(w int)
 	routeTask func(w int)
 }
 
-func newEngine[O any](g *graph.Graph, factory Factory[O], cfg config) *engine[O] {
+func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config) (*engine[O], error) {
+	if err := r.bind(g, cfg); err != nil {
+		return nil, err
+	}
 	n := g.N()
-	e := &engine[O]{cfg: cfg, n: n}
+	e := &engine[O]{Runner: r, cfg: cfg}
 	if cfg.mode != Local {
 		e.budget = cfg.bandwidth
 		if e.budget == 0 {
@@ -57,14 +56,14 @@ func newEngine[O any](g *graph.Graph, factory Factory[O], cfg config) *engine[O]
 	}
 
 	e.procs = make([]Proc[O], n)
-	e.senders = make([]Sender, n)
 	for v := 0; v < n; v++ {
 		ni := NodeInfo{
 			ID:        v,
 			Neighbors: g.Neighbors(v),
 			Weight:    g.Weight(v),
 			N:         n,
-			Rand:      rng.ForNode(cfg.seed, v),
+			Rand:      rng.Init(cfg.seed, v),
+			Arena:     &r.arena,
 		}
 		if cfg.maxDegree {
 			ni.MaxDegree = g.MaxDegree()
@@ -73,62 +72,21 @@ func newEngine[O any](g *graph.Graph, factory Factory[O], cfg config) *engine[O]
 			ni.Arboricity = cfg.arboricity
 		}
 		e.procs[v] = factory(ni)
-		e.senders[v] = Sender{owner: int32(v), neighbors: g.Neighbors(v), revIdx: g.ReverseIndex(v)}
 	}
 
 	e.res = &Result[O]{Bandwidth: e.budget}
-	e.done = make([]bool, n)
-	e.inbox = make([][]Incoming, n)
-	e.next = make([][]Incoming, n)
-
-	workers := cfg.workers
-	if workers > n {
-		workers = n
-	}
-	if n < parallelStepMin || workers < 1 {
-		workers = 1
-	}
-	e.steps = make([]stepShard, workers)
-	e.routes = make([]routeShard, workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo > hi {
-			lo = hi
-		}
-		e.steps[w] = stepShard{lo: lo, hi: hi}
-		rs := &e.routes[w]
-		rs.lo, rs.hi = lo, hi
-		rs.edgeBits = make([]int64, hi-lo)
-		rs.stamp = make([]uint64, hi-lo)
-		rs.touched = make([]int32, hi-lo)
-		rs.senderGen = 1 // stamp's zero value must mean "never touched"
-	}
-	if workers > 1 {
-		e.pool = newPool(workers)
-	}
 	e.stepTask = e.stepRange
 	e.routeTask = e.routeRange
-	return e
+	return e, nil
 }
 
-// close releases the worker pool. The engine must be idle.
-func (e *engine[O]) close() {
-	if e.pool != nil {
-		e.pool.close()
-	}
-}
-
-// dispatch runs a phase task on every worker (inline when sequential).
+// dispatch runs a phase task on every shard (inline when sequential).
 func (e *engine[O]) dispatch(task func(w int)) {
-	if e.pool == nil {
+	if len(e.steps) == 1 {
 		task(0)
 		return
 	}
-	e.pool.run(task)
+	e.pool.run(task, len(e.steps))
 }
 
 func (e *engine[O]) run() (*Result[O], error) {
@@ -180,8 +138,9 @@ func (e *engine[O]) run() (*Result[O], error) {
 		}
 		e.res.Rounds = round + 1
 
-		// Swap inboxes; route workers truncate their receivers' next-round
-		// inboxes in place, so the backing arrays are reused across rounds.
+		// Swap inbox views; the route shards alternate between two flat
+		// backing arrays by round parity, so the views just published in
+		// next stay valid while the other array is overwritten.
 		e.inbox, e.next = e.next, e.inbox
 
 		if activeCount == 0 && inflight > 0 {

@@ -30,14 +30,15 @@ func (p *pool) worker(i int, ch chan struct{}) {
 	}
 }
 
-// run executes task(w) on every worker and returns when all are done.
+// run executes task(w) on workers 0..k-1 and returns when all are done
+// (a Runner reused with a smaller worker count leaves the rest parked).
 // Writing p.task before the channel sends gives each worker a
 // happens-before edge to the new task, so run needs no extra locking;
 // passing pre-built method values keeps the round loop allocation-free.
-func (p *pool) run(task func(w int)) {
+func (p *pool) run(task func(w int), k int) {
 	p.task = task
-	p.wg.Add(len(p.start))
-	for _, ch := range p.start {
+	p.wg.Add(k)
+	for _, ch := range p.start[:k] {
 		ch <- struct{}{}
 	}
 	p.wg.Wait()

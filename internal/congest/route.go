@@ -5,6 +5,17 @@ package congest
 // reused across senders and rounds; stamp marks which entries belong to
 // the sender currently being drained, so nothing is ever cleared — the
 // per-sender `make(map[int]int)` of the old engine is gone entirely.
+//
+// Delivery is CSR-style: each round the shard counts, per receiver, the
+// messages actually delivered (pass 1, which also does all of the bit and
+// budget accounting), prefix-sums the counts into offsets, and then copies
+// the packets into one flat []Incoming backing array at those offsets
+// (pass 2). Receivers' inbox views are subslices of the flat array, so the
+// per-node slice growth of the old engine — n append-grown inboxes on the
+// first busy round — is gone: the only growth is the shard's single flat
+// array, and a reused Runner keeps it warm across runs. Two flat arrays
+// alternate by round parity because round r's inboxes are read while round
+// r+1's are written.
 type routeShard struct {
 	lo, hi int // receiver range [lo, hi)
 
@@ -13,6 +24,13 @@ type routeShard struct {
 	stamp     []uint64
 	touched   []int32
 	senderGen uint64
+
+	// CSR delivery scratch: per-receiver delivered counts (reused as the
+	// write cursor in pass 2), the prefix-summed offsets, and the two
+	// parity-alternating flat backing arrays.
+	cnt          []int32
+	off          []int32
+	flatA, flatB []Incoming
 
 	// per-round results, reset by routeRange
 	msgs, bits, inflight int64
@@ -34,15 +52,17 @@ type routeShard struct {
 // the sequential engine for any worker count. The outbox entries are
 // plain 32-byte values (destination, reverse index, 24-byte packet)
 // streamed sequentially: no interface unboxing, no dynamic Bits() call,
-// no allocation.
+// no allocation in steady state.
 func (e *engine[O]) routeRange(w int) {
 	s := &e.routes[w]
 	lo, hi := s.lo, s.hi
-	for to := lo; to < hi; to++ {
-		e.next[to] = e.next[to][:0]
-	}
 	s.msgs, s.bits, s.inflight, s.err = 0, 0, 0, nil
+	cnt := s.cnt
+	clear(cnt)
 
+	// Pass 1: accounting and per-receiver delivery counts. Budget applies
+	// per directed edge (v, to): messages to the same neighbor in one round
+	// share one B-bit slot, so their sizes sum.
 	strict := e.cfg.mode == Congest
 	budget := e.budget
 	msgStats := e.cfg.msgStats
@@ -80,11 +100,9 @@ func (e *engine[O]) routeRange(w int) {
 				s.dropped++
 				continue
 			}
-			e.next[to] = append(e.next[to], Incoming{From: int32(v), Idx: out[i].idx, P: out[i].p})
+			cnt[idx]++
 			inflight++
 		}
-		// Budget applies per directed edge (v, to): messages to the same
-		// neighbor in one round share one B-bit slot, so their sizes sum.
 		for i := 0; i < nt; i++ {
 			to := int(s.touched[i])
 			sum := s.edgeBits[to-lo]
@@ -108,4 +126,44 @@ func (e *engine[O]) routeRange(w int) {
 		}
 	}
 	s.msgs, s.bits, s.inflight = msgs, bits, inflight
+
+	// Prefix-sum the counts into offsets and publish the inbox views —
+	// every receiver in range gets one, empty or not, which also retires
+	// the previous parity round's view.
+	total := int32(0)
+	for i := range cnt {
+		s.off[i] = total
+		total += cnt[i]
+	}
+	s.off[len(cnt)] = total
+	flat := &s.flatA
+	if e.round&1 == 1 {
+		flat = &s.flatB
+	}
+	if cap(*flat) < int(total) {
+		*flat = make([]Incoming, total+total/4)
+	}
+	dst := (*flat)[:total]
+	for i := range cnt {
+		e.next[lo+i] = dst[s.off[i]:s.off[i+1]:s.off[i+1]]
+		cnt[i] = s.off[i] // pass-2 write cursor
+	}
+
+	// Pass 2: place the delivered packets at their offsets, in the same
+	// (sender ID, send index) order pass 1 counted them.
+	if total == 0 {
+		return
+	}
+	for v := 0; v < e.n; v++ {
+		out := e.senders[v].out
+		for i := range out {
+			to := int(out[i].to)
+			if to < lo || to >= hi || e.done[to] {
+				continue
+			}
+			idx := to - lo
+			dst[cnt[idx]] = Incoming{From: int32(v), Idx: out[i].idx, P: out[i].p}
+			cnt[idx]++
+		}
+	}
 }

@@ -1,0 +1,186 @@
+package congest
+
+import (
+	"fmt"
+
+	"arbods/internal/graph"
+)
+
+// Runner owns the run-scoped state of the simulator — the worker pool, the
+// proc Arena, the flat inbox/outbox backing arrays, and the graph-derived
+// sender tables — and reuses all of it across Run calls. A one-shot
+// congest.Run constructs and discards a transient Runner; a serving-style
+// caller that executes many runs (cmd/mdsbench, parameter sweeps, repeated
+// requests on the same graph) creates one Runner, passes it to each run
+// with WithRunner, and amortizes the whole setup: on a rebind to the same
+// graph nothing graph-sized is allocated at all.
+//
+// A Runner may be reused across different graphs (graph-derived state is
+// rebuilt on the first run after the graph changes) and across different
+// option sets. It is not goroutine-safe: runs sharing a Runner must be
+// sequential, and a run that finds the Runner mid-run fails. Close releases
+// the worker pool; closing is optional for transient use but polite for
+// long-lived Runners (the pool goroutines otherwise persist until the
+// Runner is collected).
+type Runner struct {
+	g       *graph.Graph
+	n       int
+	workers int // shard layout currently built (0 = none)
+
+	pool     *pool
+	poolSize int
+
+	senders []Sender
+	outSlab []outPacket // one backing array; sender v owns deg(v)+1 slots
+	done    []bool
+	inbox   [][]Incoming // per-node views into the route shards' flat arrays
+	next    [][]Incoming
+	steps   []stepShard
+	routes  []routeShard
+	arena   Arena
+
+	running bool
+}
+
+// NewRunner returns an empty Runner; all state is built lazily by the first
+// run and reused afterwards.
+func NewRunner() *Runner { return &Runner{} }
+
+// Close releases the worker pool. The Runner must be idle; it may be used
+// again afterwards (a fresh pool is built on demand).
+func (r *Runner) Close() {
+	if r.pool != nil {
+		r.pool.close()
+		r.pool = nil
+		r.poolSize = 0
+	}
+}
+
+// WithRunner executes the run on a reusable Runner instead of transient
+// state. See Runner for the reuse and concurrency contract.
+func WithRunner(r *Runner) Option { return optionFunc(func(c *config) { c.runner = r }) }
+
+// bind points the Runner at (g, cfg) for one run: graph-derived state is
+// rebuilt only when the graph changed, the shard layout only when the node
+// or worker count changed, and everything else is reset in place.
+func (r *Runner) bind(g *graph.Graph, cfg config) error {
+	if r.running {
+		return fmt.Errorf("congest: Runner is already mid-run (Runners are not goroutine-safe)")
+	}
+	r.running = true
+	n := g.N()
+
+	if r.g != g {
+		r.g = g
+		r.n = n
+		if cap(r.senders) >= n {
+			r.senders = r.senders[:n]
+		} else {
+			r.senders = make([]Sender, n)
+		}
+		// One outbox backing array for all nodes: node v owns deg(v)+1
+		// slots — degree covers a full broadcast, the +1 the occasional
+		// extra targeted send (a node that outgrows its slot falls back to
+		// ordinary append growth and keeps the grown slice).
+		slots := g.DegreeSum() + n
+		if cap(r.outSlab) < slots {
+			r.outSlab = make([]outPacket, slots)
+		}
+		base := 0
+		for v := 0; v < n; v++ {
+			nbr := g.Neighbors(v)
+			end := base + len(nbr) + 1
+			r.senders[v] = Sender{
+				owner:     int32(v),
+				neighbors: nbr,
+				revIdx:    g.ReverseIndex(v),
+				out:       r.outSlab[base:base:end],
+			}
+			base = end
+		}
+		r.done = resized(r.done, n)
+		r.inbox = resized(r.inbox, n)
+		r.next = resized(r.next, n)
+		r.workers = 0 // force a shard-layout rebuild below
+	} else {
+		for v := range r.senders {
+			s := &r.senders[v]
+			s.err = nil
+			s.out = s.out[:0]
+		}
+		clear(r.done)
+		// Stale views would alias flat arrays about to be overwritten; the
+		// round-0 step must see empty inboxes.
+		clear(r.inbox)
+		clear(r.next)
+	}
+
+	workers := cfg.workers
+	if workers > n {
+		workers = n
+	}
+	if n < parallelStepMin || workers < 1 {
+		workers = 1
+	}
+	if workers != r.workers {
+		r.workers = workers
+		r.steps = make([]stepShard, workers)
+		r.routes = make([]routeShard, workers)
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo > hi {
+				lo = hi
+			}
+			r.steps[w] = stepShard{lo: lo, hi: hi}
+			rs := &r.routes[w]
+			rs.lo, rs.hi = lo, hi
+			rs.edgeBits = make([]int64, hi-lo)
+			rs.stamp = make([]uint64, hi-lo)
+			rs.touched = make([]int32, hi-lo)
+			rs.cnt = make([]int32, hi-lo)
+			rs.off = make([]int32, hi-lo+1)
+			rs.senderGen = 1 // stamp's zero value must mean "never touched"
+		}
+	}
+	for w := range r.routes {
+		rs := &r.routes[w]
+		rs.dropped, rs.violations, rs.maxEdgeBits = 0, 0, 0
+		rs.stats = [MaxTags]MessageStat{}
+		// senderGen stays monotonic across runs, so the stamp scratch needs
+		// no clearing — entries from previous runs can never match.
+	}
+
+	if workers > 1 && (r.pool == nil || r.poolSize < workers) {
+		if r.pool != nil {
+			r.pool.close()
+		}
+		r.pool = newPool(workers)
+		r.poolSize = workers
+	}
+	r.arena.Reset()
+	return nil
+}
+
+// release marks the run finished. closePool additionally tears the worker
+// pool down (transient Runners built inside congest.Run).
+func (r *Runner) release(closePool bool) {
+	r.running = false
+	if closePool {
+		r.Close()
+	}
+}
+
+// resized returns s resized to length n with every element zeroed,
+// reusing the backing array when it is large enough.
+func resized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -12,6 +12,9 @@ type stepShard struct {
 func (e *engine[O]) stepRange(w int) {
 	s := &e.steps[w]
 	s.active = 0
+	// Reset the error like routeRange resets its own: a Sender error from
+	// an aborted previous run must not poison a reused Runner.
+	s.err = nil
 	round := e.round
 	for v := s.lo; v < s.hi; v++ {
 		snd := &e.senders[v]

@@ -1,0 +1,29 @@
+package congest
+
+import "testing"
+
+// TestTagSpaceHeadroom guards the library's wire header: every library tag
+// must fit the MsgTagBits (4-bit) header the bandwidth accounting charges,
+// i.e. at most 15 registered tags beyond tagInvalid. Adding a 16th library
+// message type is NOT a matter of squeezing — widen MsgTagBits (and accept
+// that every message's accounted size grows by the extra header bits; the
+// wire round-trip tests in mds/baseline pin the per-field accounting and
+// will flag the change). That escape hatch is documented on MsgTagBits and
+// in ROADMAP.md.
+func TestTagSpaceHeadroom(t *testing.T) {
+	const capacity = 1 << MsgTagBits // 16 values incl. tagInvalid ⇒ 15 usable
+	registered := int(numLibraryTags) - 1
+	if registered > capacity-1 {
+		t.Fatalf("%d library tags registered, but only %d fit the %d-bit MsgTagBits header: widen MsgTagBits (the documented escape hatch) instead of overflowing the header",
+			registered, capacity-1, MsgTagBits)
+	}
+	if free := capacity - 1 - registered; free < 1 {
+		t.Logf("tag space full: %d/%d used — the next library message type requires widening MsgTagBits", registered, capacity-1)
+	}
+	// Every registered tag must have a stable name (MessageStats keys).
+	for tag := Tag(1); tag < numLibraryTags; tag++ {
+		if tagNames[tag] == "" {
+			t.Errorf("tag %d has no name", tag)
+		}
+	}
+}

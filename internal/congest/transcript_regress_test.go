@@ -1,8 +1,10 @@
 package congest_test
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"testing"
 
 	"arbods/internal/baseline"
@@ -104,73 +106,77 @@ var goldenTranscripts = map[string]transcript{
 	"baseline-lrg":             {Rounds: 47, Messages: 37569, TotalBits: 242140, MaxEdgeBits: 9, OutputHash: 0xec80b1239d32b9b5},
 }
 
-func runTranscripts(t *testing.T) map[string]transcript {
+// runTranscripts executes all 11 algorithm families on the pinned
+// instances at seed 5 with the given extra simulator options (worker
+// count, a shared Runner, …) appended to every run.
+func runTranscripts(t *testing.T, extra ...congest.Option) map[string]transcript {
 	t.Helper()
 	er, forest := regressGraphs()
 	const seed = 5
+	opts := append([]congest.Option{congest.WithSeed(seed)}, extra...)
 	got := make(map[string]transcript)
 
-	wd, err := mds.WeightedDeterministic(er, 3, 0.25, congest.WithSeed(seed))
+	wd, err := mds.WeightedDeterministic(er, 3, 0.25, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["weighted-deterministic"] = mdsTranscript(wd)
 
-	uw, err := mds.UnweightedDeterministic(er, 3, 0.25, congest.WithSeed(seed))
+	uw, err := mds.UnweightedDeterministic(er, 3, 0.25, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["unweighted-deterministic"] = mdsTranscript(uw)
 
-	wr, err := mds.WeightedRandomized(er, 3, 2, congest.WithSeed(seed))
+	wr, err := mds.WeightedRandomized(er, 3, 2, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["weighted-randomized"] = mdsTranscript(wr)
 
-	gg, err := mds.GeneralGraphs(er, 2, congest.WithSeed(seed))
+	gg, err := mds.GeneralGraphs(er, 2, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["general-graphs"] = mdsTranscript(gg)
 
-	ud, err := mds.UnknownDelta(er, 3, 0.25, congest.WithSeed(seed))
+	ud, err := mds.UnknownDelta(er, 3, 0.25, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["unknown-delta"] = mdsTranscript(ud)
 
-	ua, err := mds.UnknownAlpha(er, 0.25, congest.WithSeed(seed))
+	ua, err := mds.UnknownAlpha(er, 0.25, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["unknown-alpha"] = mdsTranscript(ua)
 
-	tr, err := mds.TreeThreeApprox(forest, congest.WithSeed(seed))
+	tr, err := mds.TreeThreeApprox(forest, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["tree-3approx"] = mdsTranscript(tr)
 
-	or, err := orient.Run(er, 3, 0.5, congest.WithSeed(seed))
+	or, err := orient.Run(er, 3, 0.5, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["orient-known"] = orientTranscript(or)
 
-	kw, _, err := baseline.KW05(er, 2, congest.WithSeed(seed))
+	kw, _, err := baseline.KW05(er, 2, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["baseline-kw05"] = mdsTranscript(kw)
 
-	lw, err := baseline.LWDeterministic(er, congest.WithSeed(seed))
+	lw, err := baseline.LWDeterministic(er, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got["baseline-lw"] = mdsTranscript(lw)
 
-	lrg, err := baseline.LRGRandomized(er, congest.WithSeed(seed))
+	lrg, err := baseline.LRGRandomized(er, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,10 +185,26 @@ func runTranscripts(t *testing.T) map[string]transcript {
 	return got
 }
 
-// TestTranscriptEquivalence guards the wire-format migration against
-// silent semantic drift: for a fixed seed, every algorithm's transcript
-// (rounds, message count, bit volume, max per-edge load, and the full
-// output vector) must match the values recorded before the migration.
+// compareTranscripts fails the test for every family whose transcript in
+// got differs from want.
+func compareTranscripts(t *testing.T, label string, want, got map[string]transcript) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d families ran, want %d", label, len(got), len(want))
+	}
+	for name, w := range want {
+		if g := got[name]; g != w {
+			t.Errorf("%s: %s transcript diverged:\n got %+v\nwant %+v", label, name, g, w)
+		}
+	}
+}
+
+// TestTranscriptEquivalence guards the engine's internal representation
+// against silent semantic drift: for a fixed seed, every algorithm's
+// transcript (rounds, message count, bit volume, max per-edge load, and
+// the full output vector) must match the values recorded before the
+// packed wire-word migration (PR 3) — and, since the arena engine, the
+// same goldens also pin the flat-CSR-inbox/Runner rewrite.
 func TestTranscriptEquivalence(t *testing.T) {
 	got := runTranscripts(t)
 	if len(goldenTranscripts) == 0 {
@@ -207,4 +229,36 @@ func TestTranscriptEquivalence(t *testing.T) {
 			t.Errorf("%s: missing golden entry", name)
 		}
 	}
+}
+
+// TestTranscriptWorkerInvariance runs all 11 algorithm families with the
+// sequential engine and with the sharded parallel engine (flat CSR
+// inboxes) and requires identical transcripts — the whole-library version
+// of TestWorkerCountInvariance's synthetic proc.
+func TestTranscriptWorkerInvariance(t *testing.T) {
+	seq := runTranscripts(t, congest.WithWorkers(1))
+	compareTranscripts(t, "goldens vs workers=1", goldenTranscripts, seq)
+	for _, workers := range []int{3, runtime.GOMAXPROCS(0) + 1} {
+		par := runTranscripts(t, congest.WithWorkers(workers))
+		compareTranscripts(t, fmt.Sprintf("workers=%d", workers), seq, par)
+	}
+}
+
+// TestTranscriptRunnerReuse runs all 11 families back to back on ONE
+// shared Runner — arenas, flat inboxes, worker pool, and sender tables
+// recycled across runs and across the two pinned graphs — and requires
+// every transcript to match the transient-state goldens. Any state leaking
+// from one run into the next (stale inbox views, un-reset arena memory,
+// surviving done flags) would show up here.
+func TestTranscriptRunnerReuse(t *testing.T) {
+	r := congest.NewRunner()
+	defer r.Close()
+	for pass := 1; pass <= 2; pass++ {
+		got := runTranscripts(t, congest.WithRunner(r))
+		compareTranscripts(t, fmt.Sprintf("runner pass %d", pass), goldenTranscripts, got)
+	}
+	// And once more sequentially, so the reuse path is covered for both
+	// engine variants.
+	got := runTranscripts(t, congest.WithRunner(r), congest.WithWorkers(1))
+	compareTranscripts(t, "runner workers=1", goldenTranscripts, got)
 }

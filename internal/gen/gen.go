@@ -148,8 +148,9 @@ func Broom(pathLen, leaves int) Result {
 func ForestUnion(n, k int, seed uint64) Result {
 	r := rng.New(seed)
 	b := graph.NewBuilder(n)
+	perm := make([]int, n) // scratch reused across the k forests
 	for f := 0; f < k; f++ {
-		perm := r.Perm(n)
+		r.PermInto(perm)
 		for i := 1; i < n; i++ {
 			b.AddEdge(perm[i], perm[r.Intn(i)])
 		}

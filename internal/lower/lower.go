@@ -343,14 +343,16 @@ func biregularPair(b *graph.Builder, left, right []int, dl, dr int, r *rng.Strea
 	if len(left)*dl != len(right)*dr {
 		return fmt.Errorf("lower: stub counts differ: %d·%d vs %d·%d", len(left), dl, len(right), dr)
 	}
+	stubs := make([]int, 0, len(right)*dr) // scratch reused across attempts
+	perm := make([]int, len(right)*dr)
 	for attempt := 0; attempt < 64; attempt++ {
-		stubs := make([]int, 0, len(right)*dr)
+		stubs = stubs[:0]
 		for _, v := range right {
 			for j := 0; j < dr; j++ {
 				stubs = append(stubs, v)
 			}
 		}
-		perm := r.Perm(len(stubs))
+		r.PermInto(perm)
 		seen := make(map[[2]int]bool, len(left)*dl)
 		type edge struct{ u, v int }
 		edges := make([]edge, 0, len(left)*dl)

@@ -295,7 +295,9 @@ func GeneralGraphs(g *graph.Graph, k int, opts ...congest.Option) (*Report, erro
 }
 
 // run wires a detParams proc into the simulator with the globally known
-// parameters the paper assumes (Δ, and α when relevant).
+// parameters the paper assumes (Δ, and α when relevant). Procs are
+// constructed in place in one slab — a single allocation for all n nodes —
+// with their neighbor caches carved from the run's arena.
 func run(g *graph.Graph, params detParams, alpha int, opts []congest.Option) (*congest.Result[Output], error) {
 	all := make([]congest.Option, 0, len(opts)+2)
 	all = append(all, opts...)
@@ -303,8 +305,11 @@ func run(g *graph.Graph, params detParams, alpha int, opts []congest.Option) (*c
 	if alpha > 0 {
 		all = append(all, congest.WithKnownArboricity(alpha))
 	}
+	slab := make([]proc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
-		return newProc(params, ni)
+		pr := &slab[ni.ID]
+		pr.init(params, ni)
+		return pr
 	}
 	return congest.Run(g, factory, all...)
 }

@@ -135,18 +135,20 @@ type proc struct {
 
 var _ congest.Proc[Output] = (*proc)(nil)
 
-func newProc(p detParams, ni congest.NodeInfo) *proc {
+// init constructs the proc in place (pr is a slab entry the run's factory
+// owns), carving the neighbor caches from the run's arena.
+func (pr *proc) init(p detParams, ni congest.NodeInfo) {
 	deg := ni.Degree()
-	pr := &proc{
+	*pr = proc{
 		p:     p,
 		ni:    ni,
 		delta: ni.MaxDegree,
-		nbrX:  make([]float64, deg),
-		nbrW:  make([]int64, deg),
+		nbrX:  ni.Arena.Float64s(deg),
+		nbrW:  ni.Arena.Int64s(deg),
 		st:    stInit,
 	}
 	if p.mode == completeExtension {
-		pr.nbrDom = make([]bool, deg)
+		pr.nbrDom = ni.Arena.Bools(deg)
 		pr.extIters = extensionIterations(p.gamma, pr.delta)
 		pr.extPhases = extensionPhases(p.gamma, p.lambda)
 	}
@@ -158,7 +160,6 @@ func newProc(p detParams, ni congest.NodeInfo) *proc {
 	default:
 		pr.r = partialIterations(p.eps, p.lambda, pr.delta)
 	}
-	return pr
 }
 
 // partialIterations returns the Lemma 4.1 iteration count r: the integer

@@ -74,8 +74,11 @@ func TreeThreeApprox(g *graph.Graph, opts ...congest.Option) (*Report, error) {
 	if !g.Unweighted() {
 		return nil, fmt.Errorf("mds: TreeThreeApprox requires unit weights")
 	}
+	slab := make([]treeProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
-		return &treeProc{ni: ni}
+		p := &slab[ni.ID]
+		p.ni = ni
+		return p
 	}
 	res, err := congest.Run(g, factory, opts...)
 	if err != nil {

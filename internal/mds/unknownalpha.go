@@ -17,9 +17,14 @@ import (
 //     α̂_v = max_{u∈N+(v)} outdeg(u) and the threshold λ_v = 1/((2α̂_v+1)(1+ε));
 //  3. the Remark 4.4 iteration loop (udProc) with the per-node λ_v and
 //     packing values initialized to τ_v/(n+1), running to local quiescence.
+//
+// uaProc embeds its two phase procs by value, so it holds two NodeInfo
+// copies and with them two identically-seeded value copies of the node's
+// random stream. Neither phase draws randomness today; if one ever does,
+// it must be the only one (see the NodeInfo.Rand fork caveat).
 type uaProc struct {
-	orient *orient.Proc
-	ud     *udProc
+	orient orient.Proc
+	ud     udProc
 	eps    float64
 
 	alphaHat int
@@ -78,20 +83,14 @@ func UnknownAlpha(g *graph.Graph, eps float64, opts ...congest.Option) (*Report,
 	if err != nil {
 		return nil, err
 	}
+	slab := make([]uaProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
-		deg := ni.Degree()
-		return &uaProc{
-			orient: orient.NewProc(ni, sched, eps),
-			eps:    eps,
-			ud: &udProc{
-				ni:        ni,
-				eps:       eps,
-				fixedNorm: ni.N + 1,
-				nbrX:      make([]float64, deg),
-				nbrW:      make([]int64, deg),
-				nbrDom:    make([]bool, deg),
-			},
-		}
+		p := &slab[ni.ID]
+		p.eps = eps
+		p.orient.Init(ni, sched, eps)
+		// λ is learned from the orientation phase (stage 2 fills it in).
+		p.ud.init(ni, eps, 0, ni.N+1)
+		return p
 	}
 	res, err := congest.Run(g, factory, opts...)
 	if err != nil {

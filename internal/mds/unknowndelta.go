@@ -54,6 +54,23 @@ type udProc struct {
 
 var _ congest.Proc[Output] = (*udProc)(nil)
 
+// init constructs the proc in place, carving the neighbor caches from the
+// run's arena. fixedNorm > 0 selects the Remark 4.5 τ_v/(n+1) packing
+// normalizer; lambda may be filled in later (the unknown-α variant learns
+// it from the orientation phase).
+func (p *udProc) init(ni congest.NodeInfo, eps, lambda float64, fixedNorm int) {
+	deg := ni.Degree()
+	*p = udProc{
+		ni:        ni,
+		eps:       eps,
+		lambda:    lambda,
+		fixedNorm: fixedNorm,
+		nbrX:      ni.Arena.Float64s(deg),
+		nbrW:      ni.Arena.Int64s(deg),
+		nbrDom:    ni.Arena.Bools(deg),
+	}
+}
+
 func (p *udProc) absorb(in []congest.Incoming) {
 	for _, m := range in {
 		i := m.Idx
@@ -193,16 +210,11 @@ func UnknownDelta(g *graph.Graph, alpha int, eps float64, opts ...congest.Option
 		return nil, err
 	}
 	lambda := 1 / (float64(2*alpha+1) * (1 + eps))
+	slab := make([]udProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
-		deg := ni.Degree()
-		return &udProc{
-			ni:     ni,
-			eps:    eps,
-			lambda: lambda,
-			nbrX:   make([]float64, deg),
-			nbrW:   make([]int64, deg),
-			nbrDom: make([]bool, deg),
-		}
+		p := &slab[ni.ID]
+		p.init(ni, eps, lambda, 0)
+		return p
 	}
 	all := make([]congest.Option, 0, len(opts)+1)
 	all = append(all, opts...)

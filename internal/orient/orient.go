@@ -102,13 +102,21 @@ type Proc struct {
 	round    int
 }
 
-// NewProc initializes the peeling state for a node.
+// NewProc allocates and initializes the peeling state for a node.
 func NewProc(ni congest.NodeInfo, sched Schedule, eps float64) *Proc {
-	p := &Proc{
+	p := &Proc{}
+	p.Init(ni, sched, eps)
+	return p
+}
+
+// Init initializes the peeling state in place (for procs embedded by value
+// or constructed in a slab), carving the layer cache from the run's arena.
+func (p *Proc) Init(ni congest.NodeInfo, sched Schedule, eps float64) {
+	*p = Proc{
 		NI:       ni,
 		Sched:    sched,
 		Eps:      eps,
-		nbrLayer: make([]int, ni.Degree()),
+		nbrLayer: ni.Arena.Ints(ni.Degree()),
 		activeD:  ni.Degree(),
 		layer:    -1,
 		estimate: 0,
@@ -116,7 +124,6 @@ func NewProc(ni congest.NodeInfo, sched Schedule, eps float64) *Proc {
 	for i := range p.nbrLayer {
 		p.nbrLayer[i] = -1
 	}
-	return p
 }
 
 // Absorb records peel announcements without advancing the schedule. After
@@ -179,7 +186,7 @@ func (p *Proc) OutDegree() int {
 }
 
 type runProc struct {
-	inner    *Proc
+	inner    Proc
 	finished bool
 }
 
@@ -201,8 +208,11 @@ func Run(g *graph.Graph, arbor int, eps float64, opts ...congest.Option) (*conge
 	if err != nil {
 		return nil, err
 	}
+	slab := make([]runProc, g.N())
 	factory := func(ni congest.NodeInfo) congest.Proc[Output] {
-		return &runProc{inner: NewProc(ni, sched, eps)}
+		p := &slab[ni.ID]
+		p.inner.Init(ni, sched, eps)
+		return p
 	}
 	return congest.Run(g, factory, opts...)
 }

@@ -23,16 +23,25 @@ func New(seed uint64) *Stream {
 	return &Stream{state: seed}
 }
 
-// ForNode derives an independent stream for a node from a run seed. Distinct
-// (seed, node) pairs yield streams that are independent for all practical
-// purposes: the derivation runs the parent state through two SplitMix64
-// steps, so even adjacent node IDs map to well-separated states.
-func ForNode(seed uint64, node int) *Stream {
-	s := &Stream{state: seed}
-	s.state += 0x9e3779b97f4a7c15 * (uint64(node) + 1)
+// Init returns, by value, an independent stream for a node derived from a
+// run seed. Distinct (seed, node) pairs yield streams that are independent
+// for all practical purposes: the derivation runs the parent state through
+// two SplitMix64 steps, so even adjacent node IDs map to well-separated
+// states. Returning a value (rather than a heap pointer) lets callers embed
+// the stream directly in per-node state — the CONGEST simulator seeds one
+// stream per node in place, with no per-node heap object.
+func Init(seed uint64, node int) Stream {
+	s := Stream{state: seed + 0x9e3779b97f4a7c15*(uint64(node)+1)}
 	_ = s.Uint64()
 	_ = s.Uint64()
 	return s
+}
+
+// ForNode is Init returning a heap-allocated stream, for callers that want
+// a shared mutable handle.
+func ForNode(seed uint64, node int) *Stream {
+	s := Init(seed, node)
+	return &s
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
@@ -96,12 +105,20 @@ func (s *Stream) Bernoulli(p float64) bool {
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Stream) Perm(n int) []int {
 	p := make([]int, n)
-	for i := range p {
-		p[i] = i
-	}
-	for i := n - 1; i > 0; i-- {
-		j := s.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
-	}
+	s.PermInto(p)
 	return p
+}
+
+// PermInto fills dst with a pseudo-random permutation of [0, len(dst)),
+// consuming exactly the same stream values as Perm(len(dst)). It exists so
+// call sites that permute repeatedly (generators, the lower-bound stub
+// matcher) can reuse one scratch buffer instead of allocating per call.
+func (s *Stream) PermInto(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
 }
