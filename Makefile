@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race ci
 
 build:
 	$(GO) build ./...
@@ -30,13 +30,13 @@ bench-json:
 	$(GO) run ./cmd/mdsbench -scale small -seed 1 -format json
 
 # Compare two committed engine-benchmark records (benchstat format). The
-# defaults pin the PR 3 packed wire-word engine against the PR 4
-# arena/flat-inbox/Runner engine; override with BENCH_OLD=/BENCH_NEW= to
-# compare other points on the trajectory (PR 1's record is also
-# committed). Uses benchstat when available (CI installs it); falls back
-# to printing both records side by side offline.
-BENCH_OLD ?= BENCH_2026-07-29_engine_pr3.txt
-BENCH_NEW ?= BENCH_2026-07-29_engine_pr4.txt
+# defaults pin the PR 4 arena/flat-inbox/Runner engine against the PR 5
+# batch-execution engine; override with BENCH_OLD=/BENCH_NEW= to
+# compare other points on the trajectory (PR 1's and PR 3's records are
+# also committed). Uses benchstat when available (CI installs it); falls
+# back to printing both records side by side offline.
+BENCH_OLD ?= BENCH_2026-07-29_engine_pr4.txt
+BENCH_NEW ?= BENCH_2026-07-29_engine_pr5.txt
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(BENCH_OLD) $(BENCH_NEW); \
@@ -54,5 +54,14 @@ bench-compare:
 # explicitly next to bench-compare.
 alloc-gate:
 	$(GO) test ./internal/congest/ -run TestAllocationCeiling -count=1 -v
+
+# Race-mode batch smoke: the concurrent RunnerPool/Batch paths (slot
+# determinism, aborted-job recovery, checkout under contention) and the
+# bench layer's parallel-vs-sequential table identity, under the race
+# detector. Runs inside `make race` too; this target exists so CI (and
+# humans) can exercise exactly the batch stack next to alloc-gate.
+batch-race:
+	$(GO) test ./internal/congest/ -race -run 'TestBatch|TestRunnerPool' -count=1
+	$(GO) test ./internal/bench/ -race -run TestParallelMatchesSequential -count=1
 
 ci: build vet fmt-check race

@@ -69,6 +69,42 @@ func NewRunner() *Runner { return congest.NewRunner() }
 // per-run state.
 func WithRunner(r *Runner) Option { return congest.WithRunner(r) }
 
+// WithRecycledResult assembles Report.Result.Outputs (and MessageStats)
+// on Runner-owned memory, eliminating the last graph-sized per-run
+// allocations of a warm serving loop. The result's Outputs/MessageStats
+// are then valid only until the same Runner's next run — copy what must
+// outlive it. Values are identical with and without the option.
+func WithRecycledResult() Option { return congest.WithRecycledResult() }
+
+// RunnerPool is a bounded, goroutine-safe set of reusable Runners for
+// concurrent batch execution: workers Get a Runner, run on it, and Put it
+// back, so at most Size runs are in flight and every Runner keeps its
+// warmed state between checkouts. Workers() is the per-run engine worker
+// budget (GOMAXPROCS split across the pool) that keeps run-level and
+// engine-level parallelism from oversubscribing the machine.
+type RunnerPool = congest.RunnerPool
+
+// NewRunnerPool builds a pool of size Runners (size ≤ 0 = GOMAXPROCS).
+func NewRunnerPool(size int) *RunnerPool { return congest.NewRunnerPool(size) }
+
+// Job is one independent unit of a batch — typically one simulator run of
+// a sweep. It receives its checked-out Runner and worker budget; pass
+// them along as WithRunner(r) and WithWorkers(workers), and write results
+// only into state the job owns (its slot of a caller-owned slice), so
+// batch results are identical to the sequential sweep.
+type Job = congest.Job
+
+// Batch schedules independent jobs across a RunnerPool with bounded
+// parallelism and deterministic (submission-ordered) error reporting.
+// Create one per phase with RunnerPool.Batch, Submit jobs, then Wait.
+type Batch = congest.Batch
+
+// RunBatch executes jobs with at most parallel in flight (≤ 0 =
+// GOMAXPROCS) on a transient RunnerPool and returns the first error in
+// submission order. parallel = 1 is a plain sequential loop on one
+// reusable Runner — results are identical for every parallelism.
+func RunBatch(parallel int, jobs ...Job) error { return congest.RunBatch(parallel, jobs...) }
+
 // UnweightedDeterministic runs the Section 3 algorithm (Theorem 3.1):
 // deterministic (2α+1)(1+ε)-approximate dominating set on unweighted graphs
 // with arboricity ≤ alpha in O(log(Δ/α)/ε) CONGEST rounds.

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,12 +31,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mdsbench", flag.ContinueOnError)
 	var (
-		scale  = fs.String("scale", "small", "experiment scale: small or full")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		only   = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
-		format = fs.String("format", "md", "output format: md, csv, or json")
-		reps   = fs.Int("reps", 0, "repetitions for randomized algorithms (0 = scale default)")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		scale    = fs.String("scale", "small", "experiment scale: small or full")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		only     = fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
+		format   = fs.String("format", "md", "output format: md, csv, or json")
+		reps     = fs.Int("reps", 0, "repetitions for randomized algorithms (0 = scale default)")
+		parallel = fs.Int("parallel", 1, "concurrent simulator runs per experiment (0 = GOMAXPROCS, 1 = sequential); tables are identical for every value")
+		list     = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,13 +53,29 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	// One reusable Runner serves every simulator run of the sweep: the
-	// worker pool, arenas, and flat inbox arrays are built once and
-	// amortized across all experiments — the serving pattern the engine
-	// is designed around.
+	// One reusable Runner serves every sequential simulator run of the
+	// sweep: the worker pool, arenas, and flat inbox arrays are built once
+	// and amortized across all experiments — the serving pattern the
+	// engine is designed around. With -parallel > 1 the independent runs
+	// of each experiment additionally pipeline across a shared RunnerPool
+	// (one warmed Runner per concurrency slot, GOMAXPROCS split between
+	// run- and engine-level parallelism); the emitted tables are
+	// bit-identical either way, so -parallel is purely a wall-clock knob.
 	runner := congest.NewRunner()
 	defer runner.Close()
 	cfg := bench.Config{Seed: *seed, Reps: *reps, Runner: runner}
+	// The experiment runs are pure CPU work, so concurrency beyond the
+	// core count only costs memory (each pool slot keeps a warmed Runner
+	// resident): clamp rather than oversubscribe.
+	if *parallel == 0 || *parallel > runtime.GOMAXPROCS(0) {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if *parallel > 1 {
+		pool := congest.NewRunnerPool(*parallel)
+		defer pool.Close()
+		cfg.Parallel = *parallel
+		cfg.Pool = pool
+	}
 	switch *scale {
 	case "small":
 		cfg.Scale = bench.Small

@@ -30,6 +30,16 @@ func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-only", "E6", "-format", "csv"}); err != nil {
 		t.Fatal(err)
 	}
+	// -parallel pipelines each experiment's independent runs across a
+	// RunnerPool; the emitted tables are identical (pinned by
+	// bench.TestParallelMatchesSequential), so this only needs to prove
+	// the flag wiring runs end to end.
+	if err := run([]string{"-only", "E4", "-scale", "small", "-parallel", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "E2", "-scale", "small", "-parallel", "0"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestJSONFormat runs one experiment in -format json and checks the

@@ -67,4 +67,37 @@
 //
 // Repeated runs on the same graph then allocate O(1) memory regardless of
 // n and message volume, and results are identical to transient runs.
+// Adding WithRecycledResult assembles Report.Result.Outputs on
+// Runner-owned memory too (valid until that Runner's next run), removing
+// the last graph-sized per-run allocation.
+//
+// # Batch pattern
+//
+// A Runner serves one run at a time; sweeps of independent runs scale
+// across cores with a RunnerPool and RunBatch. Each Job checks a warmed
+// Runner out of the pool, receives the intra-run worker budget
+// (GOMAXPROCS split evenly across the pool, so run-level and
+// engine-level parallelism never oversubscribe the machine), and writes
+// its result into its own submission slot:
+//
+//	weights := make([]int64, len(seeds))
+//	jobs := make([]arbods.Job, len(seeds))
+//	for i, seed := range seeds {
+//		jobs[i] = func(r *arbods.Runner, workers int) error {
+//			rep, err := arbods.WeightedDeterministic(g, alpha, eps,
+//				arbods.WithSeed(seed), arbods.WithRunner(r), arbods.WithWorkers(workers))
+//			if err != nil { return err }
+//			weights[i] = rep.DSWeight
+//			return nil
+//		}
+//	}
+//	err := arbods.RunBatch(0, jobs...) // 0 = GOMAXPROCS runs in flight
+//
+// The determinism contract: transcripts depend only on (graph, seed,
+// options), results land in submission slots, and RunBatch reports the
+// first error in submission order — so batch results are bit-identical
+// to the sequential sweep for every parallelism, including the tables
+// cmd/mdsbench -parallel emits. Long-lived services should hold one
+// RunnerPool (sized to the concurrent request budget) and create a Batch
+// per request wave with RunnerPool.Batch.
 package arbods

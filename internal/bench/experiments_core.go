@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"arbods/internal/baseline"
+	"arbods/internal/congest"
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 	"arbods/internal/mds"
@@ -61,48 +62,65 @@ func E1Comparison(cfg Config) ([]*Table, error) {
 		name        string
 		approx      string
 		rounds      string
-		run         func(g *graph.Graph, seed uint64) (*mds.Report, error)
+		run         func(g *graph.Graph, seed uint64, slot []congest.Option) (*mds.Report, error)
 		alphaUnused bool
 	}
 	eps := 0.2
 	algos := []algo{
 		{
 			name: "this paper, det (Thm 1.1)", approx: "(2α+1)(1+ε)", rounds: "O(log(Δ/α)/ε)",
-			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return mds.UnweightedDeterministic(g, alpha, eps, cfg.opts(seed)...)
+			run: func(g *graph.Graph, seed uint64, slot []congest.Option) (*mds.Report, error) {
+				return mds.UnweightedDeterministic(g, alpha, eps, cfg.optsOn(slot, seed)...)
 			},
 		},
 		{
 			name: "this paper, rand (Thm 1.2, t=2)", approx: "α+O(α/t)", rounds: "O(t·log Δ)",
-			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return mds.WeightedRandomized(g, alpha, 2, cfg.opts(seed)...)
+			run: func(g *graph.Graph, seed uint64, slot []congest.Option) (*mds.Report, error) {
+				return mds.WeightedRandomized(g, alpha, 2, cfg.optsOn(slot, seed)...)
 			},
 		},
 		{
 			name: "LW10-style det bucket", approx: "O(α·log Δ)", rounds: "O(log Δ)",
-			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return baseline.LWDeterministic(g, cfg.opts(seed)...)
+			run: func(g *graph.Graph, seed uint64, slot []congest.Option) (*mds.Report, error) {
+				return baseline.LWDeterministic(g, cfg.optsOn(slot, seed)...)
 			},
 		},
 		{
 			name: "LRG rand (JRS02)", approx: "O(log Δ) exp.", rounds: "O(log n·log Δ)",
-			run: func(g *graph.Graph, seed uint64) (*mds.Report, error) {
-				return baseline.LRGRandomized(g, cfg.opts(seed)...)
+			run: func(g *graph.Graph, seed uint64, slot []congest.Option) (*mds.Report, error) {
+				return baseline.LRGRandomized(g, cfg.optsOn(slot, seed)...)
 			},
 		},
 	}
 
-	for _, a := range algos {
-		rep, err := a.run(big.G, cfg.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", a.name, err)
+	// One batch job per (algorithm, instance): jobs land in slots, so the
+	// table below is identical whatever cfg.Parallel is.
+	type e1runs struct{ big, small *mds.Report }
+	runs := make([]e1runs, len(algos))
+	err := cfg.batch(2*len(algos), func(i int, slot []congest.Option) error {
+		a := algos[i/2]
+		if i%2 == 0 {
+			rep, err := a.run(big.G, cfg.Seed, slot)
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.name, err)
+			}
+			runs[i/2].big = rep
+			return nil
 		}
+		rep, err := a.run(small.G, cfg.Seed, slot)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		runs[i/2].small = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range algos {
+		rep, repS := runs[i].big, runs[i].small
 		if und := verify.DominatingSet(big.G, inSetOf(rep)); len(und) > 0 {
 			return nil, fmt.Errorf("%s produced an invalid dominating set", a.name)
-		}
-		repS, err := a.run(small.G, cfg.Seed)
-		if err != nil {
-			return nil, err
 		}
 		t.AddRow(a.name, a.approx, a.rounds,
 			fmtI(rep.Rounds()), fmtI(len(rep.DS)),
@@ -151,20 +169,27 @@ func E2RoundsVsDelta(cfg Config) ([]*Table, error) {
 	}
 	leaves := []int{8, 32, 128, 512, cfg.pick(2048, 8192)}
 	pathLen := cfg.pick(60, 300)
-	prevRounds := 0
+	brooms := make([]gen.Result, len(leaves))
 	for i, l := range leaves {
-		w := gen.Broom(pathLen, l)
-		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
-		}
-		delta := w.G.MaxDegree()
+		brooms[i] = gen.Broom(pathLen, l)
+	}
+	reps := make([]*mds.Report, len(leaves))
+	if err := cfg.batch(len(leaves), func(i int, slot []congest.Option) error {
+		rep, err := mds.UnweightedDeterministic(brooms[i].G, 1, eps, cfg.optsOn(slot, cfg.Seed)...)
+		reps[i] = rep
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	prevRounds := 0
+	for i, rep := range reps {
+		delta := brooms[i].G.MaxDegree()
 		inc := "—"
 		if i > 0 {
 			inc = fmtI(rep.Rounds() - prevRounds)
 		}
 		prevRounds = rep.Rounds()
-		t.AddRow(fmtI(delta), fmtI(w.G.N()), fmtI(rep.Rounds()), inc,
+		t.AddRow(fmtI(delta), fmtI(brooms[i].G.N()), fmtI(rep.Rounds()), inc,
 			fmtF(rep.CertifiedRatio()), fmtF(rep.Factor))
 	}
 
@@ -180,14 +205,22 @@ func E2RoundsVsDelta(cfg Config) ([]*Table, error) {
 			"MSW21 needs O(α·log n) rounds and LW10-rand O(log n); the measured column stays flat while theirs would grow with n.",
 		},
 	}
-	for _, pl := range []int{128, 1024, 8192, cfg.pick(16384, 131072)} {
-		w := gen.Broom(pl, 128)
-		rep, err := mds.UnweightedDeterministic(w.G, 1, eps, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(fmtI(w.G.N()), fmtI(w.G.MaxDegree()), fmtI(rep.Rounds()),
-			fmtF(math.Log2(float64(w.G.N()))), fmtF(rep.CertifiedRatio()))
+	pathLens := []int{128, 1024, 8192, cfg.pick(16384, 131072)}
+	broomsB := make([]gen.Result, len(pathLens))
+	for i, pl := range pathLens {
+		broomsB[i] = gen.Broom(pl, 128)
+	}
+	repsB := make([]*mds.Report, len(pathLens))
+	if err := cfg.batch(len(pathLens), func(i int, slot []congest.Option) error {
+		rep, err := mds.UnweightedDeterministic(broomsB[i].G, 1, eps, cfg.optsOn(slot, cfg.Seed)...)
+		repsB[i] = rep
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, rep := range repsB {
+		tb.AddRow(fmtI(broomsB[i].G.N()), fmtI(broomsB[i].G.MaxDegree()), fmtI(rep.Rounds()),
+			fmtF(math.Log2(float64(broomsB[i].G.N()))), fmtF(rep.CertifiedRatio()))
 	}
 	return []*Table{t, tb}, nil
 }
@@ -203,24 +236,48 @@ func E3ApproxVsEpsilon(cfg Config) ([]*Table, error) {
 		Columns:  []string{"α", "ε", "bound", "certified ratio", "ratio vs OPT (n=40)", "rounds"},
 	}
 	n := cfg.pick(300, 2500)
-	for _, alpha := range []int{1, 2, 4} {
-		big := gen.ForestUnion(n, alpha, cfg.Seed+uint64(alpha))
-		small := gen.ForestUnion(40, alpha, cfg.Seed+100+uint64(alpha))
-		for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
-			rep, err := mds.UnweightedDeterministic(big.G, alpha, eps, cfg.opts(cfg.Seed)...)
-			if err != nil {
-				return nil, err
-			}
-			repS, err := mds.UnweightedDeterministic(small.G, alpha, eps, cfg.opts(cfg.Seed)...)
-			if err != nil {
-				return nil, err
-			}
-			if rep.CertifiedRatio() > rep.Factor*(1+1e-9) {
-				return nil, fmt.Errorf("E3: certified ratio %g exceeds bound %g", rep.CertifiedRatio(), rep.Factor)
-			}
-			t.AddRow(fmtI(alpha), fmtF(eps), fmtF(rep.Factor),
-				fmtF(rep.CertifiedRatio()), fmtF(exactRatio(small.G, repS.DSWeight)), fmtI(rep.Rounds()))
+	alphas := []int{1, 2, 4}
+	epss := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	bigs := make([]gen.Result, len(alphas))
+	smalls := make([]gen.Result, len(alphas))
+	for ai, alpha := range alphas {
+		bigs[ai] = gen.ForestUnion(n, alpha, cfg.Seed+uint64(alpha))
+		smalls[ai] = gen.ForestUnion(40, alpha, cfg.Seed+100+uint64(alpha))
+	}
+	// One job per (α, ε, instance) grid point — the whole grid pipelines
+	// across the pool, and the slot layout reproduces the nested loop's
+	// row order exactly.
+	type e3runs struct{ big, small *mds.Report }
+	grid := make([]e3runs, len(alphas)*len(epss))
+	err := cfg.batch(2*len(grid), func(i int, slot []congest.Option) error {
+		gi := i / 2
+		ai, ei := gi/len(epss), gi%len(epss)
+		w := bigs[ai]
+		if i%2 == 1 {
+			w = smalls[ai]
 		}
+		rep, err := mds.UnweightedDeterministic(w.G, alphas[ai], epss[ei], cfg.optsOn(slot, cfg.Seed)...)
+		if err != nil {
+			return err
+		}
+		if i%2 == 0 {
+			grid[gi].big = rep
+		} else {
+			grid[gi].small = rep
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, runs := range grid {
+		ai, ei := gi/len(epss), gi%len(epss)
+		rep, repS := runs.big, runs.small
+		if rep.CertifiedRatio() > rep.Factor*(1+1e-9) {
+			return nil, fmt.Errorf("E3: certified ratio %g exceeds bound %g", rep.CertifiedRatio(), rep.Factor)
+		}
+		t.AddRow(fmtI(alphas[ai]), fmtF(epss[ei]), fmtF(rep.Factor),
+			fmtF(rep.CertifiedRatio()), fmtF(exactRatio(smalls[ai].G, repS.DSWeight)), fmtI(rep.Rounds()))
 	}
 	return []*Table{t}, nil
 }
@@ -250,7 +307,25 @@ func E4TradeoffT(cfg Config) ([]*Table, error) {
 	}
 	// The deterministic run's packing (largest ε) is the strongest
 	// Lemma 2.1 lower bound available; use it as the common denominator.
-	det, err := mds.WeightedDeterministic(g, alpha, 0.25, cfg.opts(cfg.Seed)...)
+	// All 1+4·reps runs are independent, so the whole t-sweep is one
+	// batch: slot 0 is the deterministic reference, slot 1+ti·reps+rep a
+	// randomized repetition. Seeds depend on the slot only — the same
+	// Seed+1000·rep schedule per t as the sequential sweep always used.
+	ttVals := []int{1, 2, 3, 4}
+	nreps := cfg.reps()
+	var det *mds.Report
+	randRuns := make([]*mds.Report, len(ttVals)*nreps)
+	err := cfg.batch(1+len(randRuns), func(i int, slot []congest.Option) error {
+		if i == 0 {
+			var err error
+			det, err = mds.WeightedDeterministic(g, alpha, 0.25, cfg.optsOn(slot, cfg.Seed)...)
+			return err
+		}
+		tt, rep := ttVals[(i-1)/nreps], (i-1)%nreps
+		rr, err := mds.WeightedRandomized(g, alpha, tt, cfg.optsOn(slot, cfg.Seed+uint64(1000*rep))...)
+		randRuns[i-1] = rr
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -263,13 +338,9 @@ func E4TradeoffT(cfg Config) ([]*Table, error) {
 		rounds          int
 	}
 	var rows []row
-	for _, tt := range []int{1, 2, 3, 4} {
+	for ti, tt := range ttVals {
 		r := row{label: fmtI(tt)}
-		for rep := 0; rep < cfg.reps(); rep++ {
-			rr, err := mds.WeightedRandomized(g, alpha, tt, cfg.opts(cfg.Seed+uint64(1000*rep))...)
-			if err != nil {
-				return nil, err
-			}
+		for _, rr := range randRuns[ti*nreps : (ti+1)*nreps] {
 			if rr.PackingSum > lb {
 				lb = rr.PackingSum
 			}
@@ -316,6 +387,30 @@ func E5GeneralK(cfg Config) ([]*Table, error) {
 			"the KW05 analytic bound carries the extra ln Δ from its randomized rounding — the factor Theorem 1.3 removes.",
 		},
 	}
+	// Both algorithms × all k × all repetitions are independent runs: one
+	// batch of 2·4·reps jobs, the Theorem 1.3 runs in the first half of
+	// the slot space and the KW05 runs in the second, with the exact
+	// per-repetition seed schedules of the sequential sweep.
+	kVals := []int{1, 2, 3, 4}
+	nreps := cfg.reps()
+	thmRuns := make([]*mds.Report, len(kVals)*nreps)
+	kwRuns := make([]*mds.Report, len(kVals)*nreps)
+	err := cfg.batch(2*len(thmRuns), func(i int, slot []congest.Option) error {
+		if i < len(thmRuns) {
+			k, rep := kVals[i/nreps], i%nreps
+			r, err := mds.GeneralGraphs(g, k, cfg.optsOn(slot, cfg.Seed+uint64(999*rep))...)
+			thmRuns[i] = r
+			return err
+		}
+		j := i - len(thmRuns)
+		k, rep := kVals[j/nreps], j%nreps
+		r, _, err := baseline.KW05(g, k, cfg.optsOn(slot, cfg.Seed+uint64(777*rep))...)
+		kwRuns[j] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var lb float64
 	type row struct {
 		k              int
@@ -324,14 +419,10 @@ func E5GeneralK(cfg Config) ([]*Table, error) {
 		rounds         int
 	}
 	var rows []row
-	for _, k := range []int{1, 2, 3, 4} {
+	for ki, k := range kVals {
 		tRow := row{k: k, algo: "Thm 1.3"}
 		var gamma float64
-		for rep := 0; rep < cfg.reps(); rep++ {
-			r, err := mds.GeneralGraphs(g, k, cfg.opts(cfg.Seed+uint64(999*rep))...)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range thmRuns[ki*nreps : (ki+1)*nreps] {
 			if !r.AllDominated {
 				return nil, fmt.Errorf("E5: k=%d run left nodes undominated", k)
 			}
@@ -346,11 +437,7 @@ func E5GeneralK(cfg Config) ([]*Table, error) {
 		rows = append(rows, tRow)
 
 		kRow := row{k: k, algo: "KW05-style"}
-		for rep := 0; rep < cfg.reps(); rep++ {
-			r, _, err := baseline.KW05(g, k, cfg.opts(cfg.Seed+uint64(777*rep))...)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range kwRuns[ki*nreps : (ki+1)*nreps] {
 			if !r.AllDominated {
 				return nil, fmt.Errorf("E5: KW05 k=%d left nodes undominated", k)
 			}

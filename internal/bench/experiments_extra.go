@@ -186,25 +186,34 @@ func E9Ablations(cfg Config) ([]*Table, error) {
 		PaperRef: "Lemma 4.7: E[c_v] ≤ γ+1 (the expectation bound behind Lemma 4.8)",
 		Columns:  []string{"algorithm", "γ", "bound γ+1", "mean c_v", "max c_v", "nodes covered by extension"},
 	}
-	for _, tt := range []struct {
+	e9algos := []struct {
 		name string
-		run  func(seed uint64) (*mds.Report, error)
+		run  func(seed uint64, slot []congest.Option) (*mds.Report, error)
 	}{
-		{"Theorem 1.2 (t=2)", func(seed uint64) (*mds.Report, error) {
-			return mds.WeightedRandomized(g, alpha, 2, cfg.opts(seed)...)
+		{"Theorem 1.2 (t=2)", func(seed uint64, slot []congest.Option) (*mds.Report, error) {
+			return mds.WeightedRandomized(g, alpha, 2, cfg.optsOn(slot, seed)...)
 		}},
-		{"Theorem 1.3 (k=2)", func(seed uint64) (*mds.Report, error) {
-			return mds.GeneralGraphs(g, 2, cfg.opts(seed)...)
+		{"Theorem 1.3 (k=2)", func(seed uint64, slot []congest.Option) (*mds.Report, error) {
+			return mds.GeneralGraphs(g, 2, cfg.optsOn(slot, seed)...)
 		}},
-	} {
+	}
+	// Every repetition of both algorithms is independent: one batch, slot
+	// = (algorithm, repetition), aggregated in slot order below.
+	nreps := cfg.reps() * 2
+	e9runs := make([]*mds.Report, len(e9algos)*nreps)
+	if err := cfg.batch(len(e9runs), func(i int, slot []congest.Option) error {
+		rep := i % nreps
+		r, err := e9algos[i/nreps].run(cfg.Seed+uint64(313*rep), slot)
+		e9runs[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ai, tt := range e9algos {
 		var total, count float64
 		maxCV := 0
 		var gamma float64
-		for rep := 0; rep < cfg.reps()*2; rep++ {
-			r, err := tt.run(cfg.Seed + uint64(313*rep))
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range e9runs[ai*nreps : (ai+1)*nreps] {
 			gamma = r.Gamma
 			for _, out := range r.Result.Outputs {
 				if out.SampledDominators > 0 {

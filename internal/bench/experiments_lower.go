@@ -5,6 +5,7 @@ import (
 
 	"arbods/internal/arbor"
 	"arbods/internal/baseline"
+	"arbods/internal/congest"
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 	"arbods/internal/lower"
@@ -109,16 +110,25 @@ func E6LowerBound(cfg Config) ([]*Table, error) {
 			"shrinking the iteration budget collapses the packing phase and the self-completion step balloons — locality costs approximation, exactly the trade-off the lower bound forbids escaping.",
 		},
 	}
-	full, err := mds.UnweightedDeterministic(c.H, 2, 0.2, cfg.opts(cfg.Seed)...)
-	if err != nil {
+	// The truncation sweep is embarrassingly parallel — every budget is an
+	// independent run on H. Slot 0 is the untruncated reference.
+	iterVals := []int{1, 2, 4, 8, 16}
+	var full *mds.Report
+	truncated := make([]*mds.Report, len(iterVals))
+	if err := cfg.batch(1+len(iterVals), func(i int, slot []congest.Option) error {
+		if i == 0 {
+			var err error
+			full, err = mds.UnweightedDeterministic(c.H, 2, 0.2, cfg.optsOn(slot, cfg.Seed)...)
+			return err
+		}
+		r, err := mds.TruncatedUnweighted(c.H, 2, 0.2, iterVals[i-1], cfg.optsOn(slot, cfg.Seed)...)
+		truncated[i-1] = r
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	for _, iters := range []int{1, 2, 4, 8, 16} {
-		r, err := mds.TruncatedUnweighted(c.H, 2, 0.2, iters, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
-		}
-		tc.AddRow(fmtI(iters), fmtI(r.Rounds()), fmtI(len(r.DS)), fmtF(r.CertifiedRatio()))
+	for i, r := range truncated {
+		tc.AddRow(fmtI(iterVals[i]), fmtI(r.Rounds()), fmtI(len(r.DS)), fmtF(r.CertifiedRatio()))
 	}
 	tc.AddRow("full schedule", fmtI(full.Rounds()), fmtI(len(full.DS)), fmtF(full.CertifiedRatio()))
 
@@ -215,25 +225,43 @@ func E7Trees(cfg Config) ([]*Table, error) {
 		gen.RandomTree(60, cfg.Seed),
 		gen.BalancedTree(3, 3),
 	}
-	for _, w := range shapes {
+	// A large tree: the linear-time forest DP still gives exact OPT.
+	big := gen.RandomTree(cfg.pick(5000, 50000), cfg.Seed+7)
+
+	// The distributed runs — three per small shape, two on the big tree —
+	// are all independent, so they form one batch; the centralized exact
+	// baselines stay on the coordinating goroutine (they never enter the
+	// simulator and need no Runner).
+	type e7runs struct{ tri, det, lw *mds.Report }
+	runs := make([]e7runs, len(shapes)+1)
+	err := cfg.batch(3*len(shapes)+2, func(i int, slot []congest.Option) error {
+		si, which := i/3, i%3
+		g := big.G
+		if si < len(shapes) {
+			g = shapes[si].G
+		}
+		var err error
+		switch which {
+		case 0:
+			runs[si].tri, err = mds.TreeThreeApprox(g, cfg.optsOn(slot, cfg.Seed)...)
+		case 1:
+			runs[si].det, err = mds.UnweightedDeterministic(g, 1, 0.2, cfg.optsOn(slot, cfg.Seed)...)
+		case 2:
+			runs[si].lw, err = baseline.LWDeterministic(g, cfg.optsOn(slot, cfg.Seed)...)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, w := range shapes {
 		opt, err := baseline.Exact(w.G)
 		if err != nil {
 			return nil, err
 		}
-		tri, err := mds.TreeThreeApprox(w.G, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
-		}
+		tri, det, lw := runs[si].tri, runs[si].det, runs[si].lw
 		if float64(tri.DSWeight) > 3*float64(opt.Weight) {
 			return nil, fmt.Errorf("E7: 3-approximation violated on %s: %d vs OPT %d", w.Name, tri.DSWeight, opt.Weight)
-		}
-		det, err := mds.UnweightedDeterministic(w.G, 1, 0.2, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
-		}
-		lw, err := baseline.LWDeterministic(w.G, cfg.opts(cfg.Seed)...)
-		if err != nil {
-			return nil, err
 		}
 		t.AddRow(w.Name, "tree 3-approx (Obs A.1)", fmtI(tri.Rounds()), fmtI(len(tri.DS)),
 			fmtF(float64(tri.DSWeight)/float64(opt.Weight)))
@@ -243,22 +271,13 @@ func E7Trees(cfg Config) ([]*Table, error) {
 			fmtF(float64(lw.DSWeight)/float64(opt.Weight)))
 		t.AddRow("", "exact", "—", fmtI(len(opt.DS)), "1")
 	}
-	// A large tree: the linear-time forest DP still gives exact OPT.
-	big := gen.RandomTree(cfg.pick(5000, 50000), cfg.Seed+7)
 	bigOpt, err := baseline.ExactForest(big.G)
 	if err != nil {
 		return nil, err
 	}
-	tri, err := mds.TreeThreeApprox(big.G, cfg.opts(cfg.Seed)...)
-	if err != nil {
-		return nil, err
-	}
+	tri, det := runs[len(shapes)].tri, runs[len(shapes)].det
 	if float64(tri.DSWeight) > 3*float64(bigOpt.Weight) {
 		return nil, fmt.Errorf("E7: 3-approximation violated on %s", big.Name)
-	}
-	det, err := mds.UnweightedDeterministic(big.G, 1, 0.2, cfg.opts(cfg.Seed)...)
-	if err != nil {
-		return nil, err
 	}
 	t.AddRow(big.Name, "tree 3-approx (Obs A.1)", fmtI(tri.Rounds()), fmtI(len(tri.DS)),
 		fmtF(float64(tri.DSWeight)/float64(bigOpt.Weight)))

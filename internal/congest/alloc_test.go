@@ -14,13 +14,18 @@ import (
 const allocGraphN = 20_000
 
 // TestAllocationCeiling is the allocation-regression gate (wired into CI
-// next to `make bench-compare` via `make alloc-gate`). It asserts two
+// next to `make bench-compare` via `make alloc-gate`). It asserts three
 // ceilings with testing.AllocsPerRun:
 //
-//   - a run on a reused Runner must stay O(1) in n: procs slab + proc
-//     interface slice + result assembly, nothing per node, nothing per
-//     message. The ceiling (64) is ~3× the measured steady state, so it
-//     tolerates runtime noise but not a per-node make slipping back in.
+//   - a run on a reused Runner must stay O(1) in n: the proc slab and the
+//     proc interface slice are recycled, so only the Outputs slice and
+//     the run's constant-size bookkeeping (options, engine, result
+//     header) remain. The ceiling (32) tolerates runtime noise but not a
+//     per-node make slipping back in.
+//   - the same run under WithRecycledResult must stay at or below 15
+//     allocs — the PR 4 warm-Runner mark, now with the procs slab and
+//     Outputs assembly recycled too: every remaining allocation is
+//     constant-sized, none scales with n or the message volume.
 //   - a transient run (no Runner) additionally pays the run-scoped
 //     buffers, but still nothing per message and only O(1) slices sized
 //     by n — far below one alloc per node.
@@ -30,19 +35,19 @@ const allocGraphN = 20_000
 // allocation trajectory before raising a ceiling.
 func TestAllocationCeiling(t *testing.T) {
 	g := gen.ErdosRenyi(allocGraphN, 4/float64(allocGraphN), 1).G
-	factory := func(slab []echoProc) congest.Factory[int64] {
-		return func(ni congest.NodeInfo) congest.Proc[int64] {
-			p := &slab[ni.ID]
-			*p = echoProc{ni: ni, rounds: 2}
-			return p
-		}
+	// The proc slab lives outside the measured loop, like every serving
+	// caller's: the factory rebuilds procs in place each run.
+	slab := make([]echoProc, g.N())
+	factory := func(ni congest.NodeInfo) congest.Proc[int64] {
+		p := &slab[ni.ID]
+		*p = echoProc{ni: ni, rounds: 2}
+		return p
 	}
 
 	r := congest.NewRunner()
 	defer r.Close()
 	run := func(opts ...congest.Option) {
-		slab := make([]echoProc, g.N())
-		res, err := congest.Run(g, factory(slab),
+		res, err := congest.Run(g, factory,
 			append([]congest.Option{congest.WithSeed(1), congest.WithWorkers(1)}, opts...)...)
 		if err != nil {
 			t.Fatal(err)
@@ -55,8 +60,15 @@ func TestAllocationCeiling(t *testing.T) {
 	run(congest.WithRunner(r)) // warm the Runner's buffers once
 	reused := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r)) })
 	t.Logf("allocs/run on a warm Runner: %.0f", reused)
-	if reused > 64 {
-		t.Errorf("reused-Runner run allocates %.0f times (ceiling 64): per-node or per-message allocation crept back into the engine", reused)
+	if reused > 32 {
+		t.Errorf("reused-Runner run allocates %.0f times (ceiling 32): per-node or per-message allocation crept back into the engine", reused)
+	}
+
+	run(congest.WithRunner(r), congest.WithRecycledResult())
+	recycled := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r), congest.WithRecycledResult()) })
+	t.Logf("allocs/run on a warm Runner with recycled results: %.0f", recycled)
+	if recycled > 15 {
+		t.Errorf("recycled-result run allocates %.0f times (ceiling 15, the PR 4 warm mark): procs/Outputs reuse regressed", recycled)
 	}
 
 	transient := testing.AllocsPerRun(3, func() { run() })

@@ -95,6 +95,64 @@ func BenchmarkRunnerReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepBatch measures what PR 5 is about: wall-clock throughput
+// of a sweep of independent runs (here 8 seeds on a 100k-node sparse
+// graph — the shape of one experiment repetition loop), sequential versus
+// pipelined across a RunnerPool. parallel=1 is the exact sequential
+// reference (one warm Runner, full worker budget); the other
+// sub-benchmarks split GOMAXPROCS between concurrent runs, so on a
+// ≥ 4-core machine the batch rows should show the multicore scaling
+// curve (≈ #cores× up to memory bandwidth) at bit-identical results. On
+// a single-core machine all rows degenerate to the sequential engine.
+func BenchmarkSweepBatch(b *testing.B) {
+	const (
+		sweepN    = 100_000
+		sweepJobs = 8
+	)
+	g := gen.ErdosRenyi(sweepN, 4/float64(sweepN), 1).G
+	parallels := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		if p > 4 {
+			parallels = append(parallels, 4)
+		}
+		parallels = append(parallels, p)
+	}
+	for _, par := range parallels {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			sums := make([]int64, sweepJobs)
+			jobs := make([]congest.Job, sweepJobs)
+			for j := range jobs {
+				jobs[j] = func(r *congest.Runner, workers int) error {
+					// Each job owns its proc slab — concurrent runs must
+					// not share one. Both modes pay the same make, so the
+					// comparison stays apples to apples.
+					slab := make([]echoProc, g.N())
+					res, err := congest.Run(g, slabFactory(slab, 2),
+						congest.WithSeed(uint64(j+1)), congest.WithMode(congest.Local),
+						congest.WithRunner(r), congest.WithWorkers(workers))
+					if err != nil {
+						return err
+					}
+					sums[j] = res.Messages
+					return nil
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := congest.RunBatch(par, jobs...); err != nil {
+					b.Fatal(err)
+				}
+				for j, s := range sums {
+					if s == 0 {
+						b.Fatalf("job %d routed no traffic", j)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRouteOnly isolates the routing phase: one round in which
 // every node broadcasts once, so step work is negligible next to the
 // 2m ≈ 4·10⁶ message deliveries.

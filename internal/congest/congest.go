@@ -46,6 +46,20 @@
 // amortize all of the setup — repeated runs on the same graph allocate
 // almost nothing beyond the procs themselves. Transcripts are identical
 // either way.
+//
+// # Batch execution
+//
+// A Runner serves one run at a time, so sweeps of independent runs —
+// seeds × parameters × graphs, the bench layer's whole workload — scale
+// across cores through a RunnerPool: a bounded set of Runners with
+// checkout/checkin, plus a Batch scheduler (Submit/Wait, or the RunBatch
+// convenience) that keeps at most pool-size runs in flight. The pool
+// splits GOMAXPROCS between run-level and engine-level parallelism
+// (RunnerPool.Workers), and the whole construction is deterministic:
+// jobs write results into their submission slots, Wait reports the
+// lowest-slot error, and per-run transcripts never depend on worker
+// count — so a batch sweep is bit-identical to the sequential loop it
+// replaces, only faster in wall-clock terms.
 package congest
 
 import (
@@ -154,6 +168,7 @@ type config struct {
 	roundStats bool
 	msgStats   bool
 	runner     *Runner // nil = transient per-run state
+	recycle    bool    // Result.Outputs/MessageStats on runner-owned memory
 }
 
 // Option configures a run.
@@ -199,6 +214,22 @@ func WithRoundStats() Option { return optionFunc(func(c *config) { c.roundStats 
 // result (Result.MessageStats), keyed by tag name. Costs two array adds
 // per message.
 func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats = true }) }
+
+// recycledResult is a singleton so the hot serving loop pays no closure
+// allocation for the option.
+var recycledResult Option = optionFunc(func(c *config) { c.recycle = true })
+
+// WithRecycledResult assembles Result.Outputs (and Result.MessageStats,
+// when recorded) on memory owned by the run's Runner instead of freshly
+// allocated memory: the last graph-sized per-run allocations disappear,
+// so a warm serving loop runs in O(1) allocations total. The trade is the
+// arena lifetime contract extended to the Result: Outputs and
+// MessageStats are valid only until the same Runner's next run, so a
+// caller that keeps results across runs must copy what it needs first.
+// Values (not the backing memory) are bit-identical with and without this
+// option. It has no effect worth paying for on transient runs — the
+// recycled slabs die with the transient Runner.
+func WithRecycledResult() Option { return recycledResult }
 
 // RoundStat is the traffic of one round.
 type RoundStat struct {

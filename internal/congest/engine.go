@@ -55,7 +55,19 @@ func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config)
 		}
 	}
 
-	e.procs = make([]Proc[O], n)
+	// The proc slice never escapes the run, so it always comes from the
+	// Runner's cached slab when the output type matches: a warm serving
+	// loop rebuilds the procs in place instead of allocating n interface
+	// slots per run. The clear drops references to the previous run's
+	// procs beyond this run's n, so a shrinking rebind cannot leak them.
+	if slab, ok := r.procSlab.([]Proc[O]); ok && cap(slab) >= n {
+		slab = slab[:cap(slab)]
+		clear(slab[n:]) // [0, n) is rebuilt by the factory loop below
+		e.procs = slab[:n]
+	} else {
+		e.procs = make([]Proc[O], n)
+		r.procSlab = e.procs
+	}
 	for v := 0; v < n; v++ {
 		ni := NodeInfo{
 			ID:        v,
@@ -167,7 +179,18 @@ func (e *engine[O]) finish() *Result[O] {
 				continue
 			}
 			if res.MessageStats == nil {
-				res.MessageStats = make(map[string]MessageStat, 4)
+				if e.cfg.recycle {
+					// Runner-owned map, cleared at reuse time rather than
+					// per run: the previous Result's view stays intact
+					// until the Runner actually runs again.
+					if e.Runner.msgStats == nil {
+						e.Runner.msgStats = make(map[string]MessageStat, MaxTags)
+					}
+					clear(e.Runner.msgStats)
+					res.MessageStats = e.Runner.msgStats
+				} else {
+					res.MessageStats = make(map[string]MessageStat, 4)
+				}
 			}
 			// One name lookup per *tag* per shard; the per-message work in
 			// routeRange is two array adds.
@@ -178,7 +201,16 @@ func (e *engine[O]) finish() *Result[O] {
 			res.MessageStats[name] = agg
 		}
 	}
-	res.Outputs = make([]O, e.n)
+	if slab, ok := e.Runner.outSlabO.([]O); e.cfg.recycle && ok && cap(slab) >= e.n {
+		slab = slab[:cap(slab)]
+		clear(slab[e.n:]) // [0, n) is overwritten by the Output loop below
+		res.Outputs = slab[:e.n]
+	} else {
+		res.Outputs = make([]O, e.n)
+		if e.cfg.recycle {
+			e.Runner.outSlabO = res.Outputs
+		}
+	}
 	for v := range e.procs {
 		res.Outputs[v] = e.procs[v].Output()
 	}

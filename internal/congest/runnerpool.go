@@ -1,0 +1,79 @@
+package congest
+
+import "runtime"
+
+// RunnerPool is a bounded, goroutine-safe set of reusable Runners. One
+// Runner serves one run at a time (see Runner), so concurrent batch
+// execution needs several of them: workers check a Runner out with Get,
+// execute any number of sequential runs on it, and check it back in with
+// Put. The pool's size therefore bounds the number of simulator runs in
+// flight at once, and each checked-in Runner keeps its warmed state — the
+// graph-derived tables, flat inbox arrays, arenas, and worker goroutines
+// survive the checkout/checkin cycle, so a sweep of hundreds of runs pays
+// the setup cost at most size times.
+//
+// The pool also owns the machine's worker budget: Workers reports how many
+// intra-run engine workers each checkout should use (GOMAXPROCS split
+// evenly across the pool, never below 1), so for size ≤ GOMAXPROCS the
+// pool does not oversubscribe the CPUs the way `size` runs at the default
+// WithWorkers(GOMAXPROCS) would. An explicit size is honored even beyond
+// GOMAXPROCS — useful for checkout-slot isolation — but buys CPU-bound
+// runs nothing and keeps size warmed Runners resident, so CPU-bound
+// sweeps should stay at or below the core count (cmd/mdsbench clamps its
+// -parallel flag accordingly). Transcripts are identical for every worker
+// count, so the split never changes results.
+type RunnerPool struct {
+	free    chan *Runner
+	size    int
+	workers int
+}
+
+// NewRunnerPool builds a pool of `size` Runners (size ≤ 0 selects
+// GOMAXPROCS, the largest count that can make progress simultaneously).
+// All Runners are created up front — Runner state is lazy, so an unused
+// pool slot costs almost nothing.
+func NewRunnerPool(size int) *RunnerPool {
+	procs := runtime.GOMAXPROCS(0)
+	if size <= 0 {
+		size = procs
+	}
+	p := &RunnerPool{
+		free:    make(chan *Runner, size),
+		size:    size,
+		workers: procs / size,
+	}
+	if p.workers < 1 {
+		p.workers = 1
+	}
+	for i := 0; i < size; i++ {
+		p.free <- NewRunner()
+	}
+	return p
+}
+
+// Size is the number of Runners the pool owns — the bound on concurrent
+// runs.
+func (p *RunnerPool) Size() int { return p.size }
+
+// Workers is the per-checkout intra-run worker budget: GOMAXPROCS divided
+// by the pool size (at least 1). Pass it to WithWorkers so run-level and
+// engine-level parallelism share the machine instead of multiplying.
+func (p *RunnerPool) Workers() int { return p.workers }
+
+// Get checks a Runner out, blocking until one is free. Every Get must be
+// balanced by a Put of the same Runner; the easiest way to get both the
+// pairing and the worker budget right is to go through Batch or RunBatch.
+func (p *RunnerPool) Get() *Runner { return <-p.free }
+
+// Put checks a Runner back in. The Runner keeps its warmed buffers; a
+// failed or aborted run needs no special handling (the next bind resets
+// all per-run state, which TestBatchAbortedJob pins down).
+func (p *RunnerPool) Put(r *Runner) { p.free <- r }
+
+// Close waits for every Runner to be checked back in and releases their
+// worker pools. The RunnerPool must not be used afterwards.
+func (p *RunnerPool) Close() {
+	for i := 0; i < p.size; i++ {
+		(<-p.free).Close()
+	}
+}
