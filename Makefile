@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race server-race ci
 
 build:
 	$(GO) build ./...
@@ -63,5 +63,15 @@ alloc-gate:
 batch-race:
 	$(GO) test ./internal/congest/ -race -run 'TestBatch|TestRunnerPool' -count=1
 	$(GO) test ./internal/bench/ -race -run TestParallelMatchesSequential -count=1
+
+# Race-mode serving smoke: the arbods-server stack (content-addressed
+# graph cache, admission control, pooled solves with Detach hand-off,
+# NDJSON streaming) plus the daemon round trip and the Detach lifetime
+# test, under the race detector. Runs inside `make race` too; this target
+# exists so CI (and humans) can exercise exactly the serving stack next
+# to batch-race.
+server-race:
+	$(GO) test ./internal/server/ ./cmd/arbods-server/ -race -count=1
+	$(GO) test ./internal/congest/ -race -run 'TestDetach|TestRoundObserver' -count=1
 
 ci: build vet fmt-check race

@@ -15,6 +15,21 @@ type Report = mds.Report
 // NodeOutput is the per-node result inside Report.Result.Outputs.
 type NodeOutput = mds.Output
 
+// Result is the raw simulator outcome inside Report.Result: per-node
+// outputs plus the transcript statistics (rounds, messages, bits,
+// bandwidth accounting). Its Detach method deep-copies a result produced
+// under WithRecycledResult off the Runner-owned memory; see
+// WithRecycledResult for the lifetime contract.
+type Result = congest.Result[NodeOutput]
+
+// RoundStat is one round's traffic, recorded by WithRoundStats and
+// streamed live by WithRoundObserver.
+type RoundStat = congest.RoundStat
+
+// MessageStat aggregates one message type's traffic inside
+// Report.Result.MessageStats (recorded by WithMessageStats).
+type MessageStat = congest.MessageStat
+
 // Option configures a run (seed, workers, communication model, …).
 type Option = congest.Option
 
@@ -51,6 +66,24 @@ func WithRoundStats() Option { return congest.WithRoundStats() }
 // WithMessageStats records per-message-type counts and bit volumes in
 // Report.Result.MessageStats.
 func WithMessageStats() Option { return congest.WithMessageStats() }
+
+// WithRoundObserver calls fn after every completed round with that
+// round's traffic — the live-streaming form of WithRoundStats, used by
+// arbods-server to push round-level progress to clients while a long run
+// executes. fn runs on the run's coordinating goroutine; keep it cheap.
+func WithRoundObserver(fn func(RoundStat)) Option { return congest.WithRoundObserver(fn) }
+
+// WithKnownMaxDegree exposes Δ to the nodes via NodeInfo — the paper's
+// default knowledge assumption (Remark 4.4 drops it). The algorithm
+// wrappers in this package already set it where the paper assumes it;
+// export is for callers driving congest procs directly.
+func WithKnownMaxDegree() Option { return congest.WithKnownMaxDegree() }
+
+// WithKnownArboricity exposes the given arboricity bound α to the nodes
+// via NodeInfo — the paper's default knowledge assumption (Remark 4.5
+// drops it). The algorithm wrappers already pass their α parameter
+// through; export is for callers driving congest procs directly.
+func WithKnownArboricity(alpha int) Option { return congest.WithKnownArboricity(alpha) }
 
 // Runner is reusable simulator state: the worker pool, the run arenas, and
 // the graph-derived routing tables, amortized across runs. Create one with

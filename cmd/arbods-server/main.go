@@ -1,0 +1,117 @@
+// Command arbods-server runs the arbods HTTP/JSON daemon: a long-running
+// MDS service with content-addressed graph caching, a shared RunnerPool,
+// and verification receipts on every answer.
+//
+//	arbods-server -addr :8080 -corpus ./graphs
+//
+// Endpoints (see internal/server and the README "Serving" section):
+//
+//	POST /v1/graphs      upload a graph (arbods text format) → cached id
+//	GET  /v1/graphs      list cached graphs
+//	GET  /v1/graphs/{id} metadata for one cached graph
+//	POST /v1/solve       run an algorithm, get the set + receipt
+//	GET  /v1/algorithms  servable algorithms and their parameters
+//	GET  /v1/stats       cache and pool counters
+//	GET  /healthz        liveness plus stats
+//
+// SIGINT/SIGTERM drain in-flight requests before the RunnerPool is
+// released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arbods/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "arbods-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until shutdown. stop, when non-nil,
+// replaces OS signals as the shutdown trigger (tests close it); ready,
+// when non-nil, receives the bound listen address once serving.
+func run(args []string, stop <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("arbods-server", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		corpus    = fs.String("corpus", "", "directory served by corpus:<name> graph references")
+		pool      = fs.Int("pool", 0, "RunnerPool size = concurrent solves (0 = GOMAXPROCS)")
+		inflight  = fs.Int("inflight", 0, "max admitted solves before 429 (0 = 4×pool)")
+		maxUpload = fs.Int64("max-upload", 0, "max graph upload bytes (0 = 64 MiB)")
+		maxGraphs = fs.Int("max-graphs", 0, "max cached built graphs, LRU-evicted (0 = 64)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		quiet     = fs.Bool("quiet", false, "suppress per-request log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := log.New(os.Stderr, "arbods-server: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := server.New(server.Config{
+		CorpusDir:       *corpus,
+		PoolSize:        *pool,
+		MaxInflight:     *inflight,
+		MaxUploadBytes:  *maxUpload,
+		MaxCachedGraphs: *maxGraphs,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	if logf != nil {
+		logf("listening on %s", ln.Addr())
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		sigStop := make(chan struct{})
+		go func() { <-sig; close(sigStop) }()
+		stop = sigStop
+	}
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-stop:
+	}
+
+	// Drain in-flight requests, then release the RunnerPool: Close must
+	// run only after every handler has put its Runner back.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = hs.Shutdown(ctx)
+	srv.Close()
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

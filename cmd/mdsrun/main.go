@@ -60,6 +60,7 @@ func run(args []string) error {
 		kParam  = fs.Int("k", 2, "k parameter (thm1.3)")
 		seed    = fs.Uint64("seed", 1, "run seed")
 		printDS = fs.Bool("print-ds", false, "print the dominating set node IDs")
+		receipt = fs.Bool("receipt", false, "print the full verification receipt instead of the summary")
 		workers = fs.Int("workers", 0, "simulator goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		local   = fs.Bool("local", false, "run in the LOCAL model (no bandwidth limit)")
 	)
@@ -143,8 +144,15 @@ func run(args []string) error {
 		s.CertifiedRatio = ratio
 	}
 	s.GuaranteeFactor = rep.Factor
-	s.Certified = arbods.Certify(g, rep) == nil
-	if err := emit(&s); err != nil {
+	// Verification goes through the one shared path (BuildReceipt) that
+	// the server and bench harness use too.
+	rec := arbods.BuildReceipt(g, rep)
+	s.Certified = rec.OK
+	if *receipt {
+		if err := emitJSON(rec); err != nil {
+			return err
+		}
+	} else if err := emit(&s); err != nil {
 		return err
 	}
 	if *printDS {
@@ -170,10 +178,12 @@ func emitBaseline(s *summary, g *arbods.Graph, res arbods.BaselineResult, printD
 	return nil
 }
 
-func emit(s *summary) error {
+func emit(s *summary) error { return emitJSON(s) }
+
+func emitJSON(v any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s)
+	return enc.Encode(v)
 }
 
 func loadGraph(spec, file string) (*arbods.Graph, string, int, error) {

@@ -100,4 +100,26 @@
 // cmd/mdsbench -parallel emits. Long-lived services should hold one
 // RunnerPool (sized to the concurrent request budget) and create a Batch
 // per request wave with RunnerPool.Batch.
+//
+// A recycled Result lives on Runner-owned memory and is valid only until
+// that Runner's next run; to keep one past that point — to return it from
+// a request handler, say — call Result.Detach (or Report.Detach), which
+// deep-copies it onto ordinary heap memory in one pass. Detach is opt-in
+// precisely so the recycled hot path stays allocation-free.
+//
+// # Serving daemon
+//
+// cmd/arbods-server packages the serving and batch patterns as a
+// long-running HTTP/JSON service (package arbods/internal/server): graphs
+// arrive by upload, corpus file, or generator spec and are cached as
+// built CSRs under their content hash; solves are scheduled onto a shared
+// RunnerPool with admission control; results are Detach-ed off Runner
+// memory before the Runner returns to the pool; and every answer carries
+// a verification Receipt — the coverage proof, the packing feasibility,
+// and the α-bound ratio check, recomputed from the graph and the run.
+// Receipts are deterministic per (graph, algorithm, parameters, seed):
+// repeating a request returns byte-identical receipt JSON. BuildReceipt
+// is the same verification the CLI's -receipt flag and the benchmark
+// harness use; Certify is its error-only form. See the README "Serving"
+// section and examples/server for the client round trip.
 package arbods

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math"
 
+	"arbods"
 	"arbods/internal/baseline"
 	"arbods/internal/congest"
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 	"arbods/internal/mds"
-	"arbods/internal/verify"
 )
 
 // inSetOf extracts the membership vector of a report.
@@ -119,8 +119,10 @@ func E1Comparison(cfg Config) ([]*Table, error) {
 	}
 	for i, a := range algos {
 		rep, repS := runs[i].big, runs[i].small
-		if und := verify.DominatingSet(big.G, inSetOf(rep)); len(und) > 0 {
-			return nil, fmt.Errorf("%s produced an invalid dominating set", a.name)
+		// Full receipt verification — the same path the CLI and server use:
+		// domination, packing feasibility, and the α-bound ratio check.
+		if rec := arbods.BuildReceipt(big.G, rep); rec.Err() != nil {
+			return nil, fmt.Errorf("%s failed verification: %w", a.name, rec.Err())
 		}
 		t.AddRow(a.name, a.approx, a.rounds,
 			fmtI(rep.Rounds()), fmtI(len(rep.DS)),

@@ -47,6 +47,18 @@
 // almost nothing beyond the procs themselves. Transcripts are identical
 // either way.
 //
+// # Result lifetime
+//
+// A plain run's Result is ordinary heap memory with no strings attached.
+// Under WithRecycledResult the Result's Outputs and MessageStats instead
+// live on Runner-owned slabs and are valid only until the same Runner's
+// next run — the zero-allocation serving contract. Result.Detach is the
+// escape hatch: it deep-copies the Result onto ordinary heap memory, so a
+// caller (a server handler, a sweep that accumulates results) keeps the
+// recycled hot path and detaches exactly the results that must outlive
+// the next run. Detach is opt-in and costs one graph-sized copy; the hot
+// path itself never pays for it.
+//
 // # Batch execution
 //
 // A Runner serves one run at a time, so sweeps of independent runs —
@@ -167,8 +179,9 @@ type config struct {
 	arboricity int  // expose α in NodeInfo when > 0
 	roundStats bool
 	msgStats   bool
-	runner     *Runner // nil = transient per-run state
-	recycle    bool    // Result.Outputs/MessageStats on runner-owned memory
+	roundObs   func(RoundStat) // per-round progress hook (nil = none)
+	runner     *Runner         // nil = transient per-run state
+	recycle    bool            // Result.Outputs/MessageStats on runner-owned memory
 }
 
 // Option configures a run.
@@ -214,6 +227,16 @@ func WithRoundStats() Option { return optionFunc(func(c *config) { c.roundStats 
 // result (Result.MessageStats), keyed by tag name. Costs two array adds
 // per message.
 func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats = true }) }
+
+// WithRoundObserver calls fn once per completed round with that round's
+// traffic — the live-streaming form of WithRoundStats. fn runs on the
+// run's coordinating goroutine between rounds, so the round loop is
+// blocked while it executes: keep it cheap (hand the stat to a channel or
+// an encoder, don't compute in it). The stat values are exactly the ones
+// WithRoundStats would record, and the hook never changes the transcript.
+func WithRoundObserver(fn func(RoundStat)) Option {
+	return optionFunc(func(c *config) { c.roundObs = fn })
+}
 
 // recycledResult is a singleton so the hot serving loop pays no closure
 // allocation for the option.
@@ -269,6 +292,42 @@ type Result[O any] struct {
 type MessageStat struct {
 	Count int64
 	Bits  int64
+}
+
+// Detach returns a copy of the Result whose Outputs, RoundStats, and
+// MessageStats live on ordinary heap memory, severing every tie to
+// Runner-owned slabs. It is the safe hand-off for results produced under
+// WithRecycledResult: a detached Result stays valid after the Runner's
+// next run (and after the Runner is closed), so a serving loop can run
+// recycled for the zero-allocation hot path and Detach only the results
+// that must outlive the loop iteration.
+//
+// The copy is deep with respect to the Result's own backing memory;
+// output *elements* are copied by value, so an Output type that itself
+// holds references into run-scoped memory (e.g. arena-carved slices)
+// stays tied to the Runner. Every Output in this library's public surface
+// is scalar-only, so detached reports are fully independent. Detaching a
+// Result from a non-recycled run is harmless — just an ordinary copy.
+func (r *Result[O]) Detach() *Result[O] {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.Outputs != nil {
+		cp.Outputs = make([]O, len(r.Outputs))
+		copy(cp.Outputs, r.Outputs)
+	}
+	if r.RoundStats != nil {
+		cp.RoundStats = make([]RoundStat, len(r.RoundStats))
+		copy(cp.RoundStats, r.RoundStats)
+	}
+	if r.MessageStats != nil {
+		cp.MessageStats = make(map[string]MessageStat, len(r.MessageStats))
+		for k, v := range r.MessageStats {
+			cp.MessageStats[k] = v
+		}
+	}
+	return &cp
 }
 
 // BandwidthError reports a CONGEST bandwidth violation in Strict mode.

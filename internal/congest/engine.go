@@ -148,6 +148,11 @@ func (e *engine[O]) run() (*Result[O], error) {
 				Round: round, Messages: roundMsgs, Bits: roundBits, ActiveNodes: activeCount,
 			})
 		}
+		if e.cfg.roundObs != nil {
+			e.cfg.roundObs(RoundStat{
+				Round: round, Messages: roundMsgs, Bits: roundBits, ActiveNodes: activeCount,
+			})
+		}
 		e.res.Rounds = round + 1
 
 		// Swap inbox views; the route shards alternate between two flat

@@ -54,6 +54,21 @@ func (r *Report) CertifiedRatio() float64 {
 	return float64(r.DSWeight) / r.PackingSum
 }
 
+// Detach returns a copy of the Report whose Result and DS live on
+// ordinary heap memory, independent of any Runner-owned slabs (see
+// congest.Result.Detach). It is the safe hand-off for reports produced
+// under congest.WithRecycledResult: the detached Report stays valid after
+// the Runner's next run. The original Report is not modified.
+func (r *Report) Detach() *Report {
+	cp := *r
+	cp.Result = r.Result.Detach()
+	if r.DS != nil {
+		cp.DS = make([]int, len(r.DS))
+		copy(cp.DS, r.DS)
+	}
+	return &cp
+}
+
 // Rounds returns the number of simulated rounds.
 func (r *Report) Rounds() int { return r.Result.Rounds }
 

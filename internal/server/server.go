@@ -1,0 +1,264 @@
+// Package server implements arbods-server: a long-running HTTP/JSON
+// service that turns the library from a batch tool into a serving system.
+// The design mirrors the library's own serving pattern end to end:
+//
+//   - graphs arrive by upload, by name from a corpus directory, or by
+//     generator spec, and are cached as built CSRs keyed by content hash
+//     (sha256 of the canonical encoding), so repeat queries skip the
+//     build that dominates a cold request;
+//   - solve requests are scheduled onto a shared congest.RunnerPool with
+//     admission control, so concurrent clients never oversubscribe the
+//     machine and every run executes on warmed, recycled Runner state;
+//   - results are detached (Result.Detach) before their Runner returns to
+//     the pool, so the zero-allocation hot path never leaks Runner-owned
+//     memory into a response;
+//   - every answer ships with a verification receipt (arbods.Receipt):
+//     the coverage proof, the packing feasibility, and the α-bound ratio
+//     check, recomputed from the graph and the run — clients verify, they
+//     don't trust. Receipts are deterministic per (graph, algorithm,
+//     parameters, seed): the same request twice returns byte-identical
+//     receipt JSON;
+//   - long runs stream round-level progress as NDJSON when the request
+//     asks for it, riding the engine's WithRoundObserver hook.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"arbods"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CorpusDir is the directory served by "corpus:<name>" graph
+	// references ("" disables the corpus).
+	CorpusDir string
+	// PoolSize bounds concurrently executing solves (0 = GOMAXPROCS).
+	PoolSize int
+	// MaxInflight bounds admitted-but-waiting solves before the server
+	// answers 429 (0 = 4×PoolSize).
+	MaxInflight int
+	// MaxUploadBytes bounds the graph upload body (0 = 64 MiB).
+	MaxUploadBytes int64
+	// MaxCachedGraphs bounds resident built graphs, LRU-evicted (0 = 64).
+	MaxCachedGraphs int
+	// Logf receives one line per request outcome (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the arbods-server HTTP handler plus the shared state behind
+// it: the content-addressed graph cache and the RunnerPool all solves
+// execute on. Create with New, serve via ServeHTTP, and Close after the
+// HTTP server has fully shut down (Close waits for every Runner).
+type Server struct {
+	cfg   Config
+	pool  *arbods.RunnerPool
+	cache *graphCache
+	mux   *http.ServeMux
+	admit chan struct{}
+
+	solves   atomic.Int64
+	rejected atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 64 << 20
+	}
+	pool := arbods.NewRunnerPool(cfg.PoolSize)
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * pool.Size()
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool,
+		cache: newGraphCache(cfg.MaxCachedGraphs),
+		mux:   http.NewServeMux(),
+		admit: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphMeta)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases the RunnerPool. Call only after the HTTP server has
+// drained (http.Server.Shutdown): Close blocks until every checked-out
+// Runner is back.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// GraphInfo describes one cached graph.
+type GraphInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	// Alpha is the certified arboricity bound solves default to: the
+	// generator-guaranteed bound when the graph came from a spec, else
+	// the degeneracy (α ≤ degeneracy ≤ 2α−1).
+	Alpha int   `json:"alpha"`
+	Hits  int64 `json:"hits,omitempty"`
+	// New reports whether an upload inserted the graph (false = already
+	// resident under the same content hash).
+	New bool `json:"new,omitempty"`
+}
+
+func entryInfo(e entryView) GraphInfo {
+	return GraphInfo{
+		ID: e.id, Name: e.name, Nodes: e.g.N(), Edges: e.g.M(),
+		Alpha: e.alpha(), Hits: e.hits,
+	}
+}
+
+// alpha is the α a solve uses when the request does not pin one.
+func (e entryView) alpha() int {
+	if e.bound > 0 {
+		return e.bound
+	}
+	if e.degen > 0 {
+		return e.degen
+	}
+	return 1
+}
+
+// handleUpload ingests a graph in the arbods text format and caches its
+// built CSR under its content hash. Re-uploading the same graph — byte
+// variations included, since hashing happens after canonicalization — is
+// idempotent and returns the resident entry.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	// Read fully before decoding: a cap hit must answer 413, not whatever
+	// parse error the truncation happens to produce.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.error(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return
+		}
+		s.error(w, http.StatusBadRequest, "read upload: %v", err)
+		return
+	}
+	g, err := arbods.DecodeGraph(bytes.NewReader(raw))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "decode graph: %v", err)
+		return
+	}
+	e, err := buildEntry(g, "", 0)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resident, existed := s.cache.insert(e, false)
+	info := entryInfo(resident)
+	info.New = !existed
+	s.logf("upload %s n=%d m=%d new=%v", resident.id, g.N(), g.M(), !existed)
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	entries, _, _ := s.cache.snapshot()
+	infos := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, entryInfo(e))
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGraphMeta(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.cache.getID(id)
+	if !ok {
+		s.error(w, http.StatusNotFound, "graph %s not cached", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, entryInfo(e))
+}
+
+// AlgorithmInfo documents one servable algorithm.
+type AlgorithmInfo struct {
+	Name        string   `json:"name"`
+	Params      []string `json:"params,omitempty"`
+	Description string   `json:"description"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, algorithmCatalog)
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Graphs      int   `json:"graphs"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Solves      int64 `json:"solves"`
+	Rejected    int64 `json:"rejected"`
+	PoolSize    int   `json:"poolSize"`
+	PoolWorkers int   `json:"poolWorkers"`
+	MaxInflight int   `json:"maxInflight"`
+}
+
+func (s *Server) statsNow() Stats {
+	entries, hits, misses := s.cache.snapshot()
+	return Stats{
+		Graphs:      len(entries),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Solves:      s.solves.Load(),
+		Rejected:    s.rejected.Load(),
+		PoolSize:    s.pool.Size(),
+		PoolWorkers: s.pool.Workers(),
+		MaxInflight: cap(s.admit),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.statsNow())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}{Status: "ok", Stats: s.statsNow()})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.logf("error %d: %s", status, msg)
+	s.writeJSON(w, status, errorBody{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("write response: %v", err)
+	}
+}

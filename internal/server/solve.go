@@ -1,0 +1,322 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"arbods"
+)
+
+// SolveRequest asks the server to run one algorithm on one graph.
+type SolveRequest struct {
+	// Graph references the input: "sha256:<hex>" (a previously uploaded
+	// or cached graph), "corpus:<name>" (a file from the corpus
+	// directory), or "spec:<gen-spec>" (a generator spec like
+	// "forest:n=1000,k=3").
+	Graph string `json:"graph"`
+	// Algorithm is one of the /v1/algorithms names (default "thm1.1").
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// Alpha pins the arboricity bound (0 = the graph's certified
+	// default: generator bound, else degeneracy).
+	Alpha int     `json:"alpha,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`  // default 0.2
+	T     int     `json:"t,omitempty"`    // thm1.2 (default 2)
+	K     int     `json:"k,omitempty"`    // thm1.3 / kw05 (default 2)
+	Seed  uint64  `json:"seed,omitempty"` // run seed (deterministic per seed)
+
+	// Mode is "congest" (default, strict bandwidth), "audit", or "local".
+	Mode      string `json:"mode,omitempty"`
+	MaxRounds int    `json:"maxRounds,omitempty"`
+
+	// IncludeDS adds the dominating set's node IDs to the response
+	// (receipts always carry the set size and weight).
+	IncludeDS bool `json:"includeDS,omitempty"`
+	// Stream switches the response to NDJSON: one line per simulated
+	// round ({"round":…,"messages":…,"bits":…,"activeNodes":…}), then a
+	// final {"result":…} line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// SolveResponse is the answer-with-proof envelope.
+type SolveResponse struct {
+	Graph GraphInfo `json:"graph"`
+	// CacheHit reports whether the graph's built CSR was already
+	// resident (the repeat-query fast path).
+	CacheHit bool   `json:"cacheHit"`
+	Seed     uint64 `json:"seed"`
+	DS       []int  `json:"ds,omitempty"`
+	// Receipt is the verification record recomputed from the graph and
+	// the run; byte-identical across repeats of the same request.
+	Receipt *arbods.Receipt `json:"receipt"`
+}
+
+// algorithmCatalog documents the servable algorithms; names match
+// cmd/mdsrun's -algo values.
+var algorithmCatalog = []AlgorithmInfo{
+	{Name: "thm3.1", Params: []string{"alpha", "eps"}, Description: "deterministic (2α+1)(1+ε)-approx, unweighted, O(log(Δ/α)/ε) rounds"},
+	{Name: "thm1.1", Params: []string{"alpha", "eps"}, Description: "deterministic (2α+1)(1+ε)-approx, weighted, O(log(Δ/α)/ε) rounds"},
+	{Name: "thm1.2", Params: []string{"alpha", "t"}, Description: "randomized α+O(α/t)-approx in expectation, weighted, O(t·log Δ) rounds"},
+	{Name: "thm1.3", Params: []string{"k"}, Description: "randomized O(kΔ^{2/k})-approx in expectation, general graphs, O(k²) rounds"},
+	{Name: "remark4.4", Params: []string{"alpha", "eps"}, Description: "Theorem 1.1 without global knowledge of Δ"},
+	{Name: "remark4.5", Params: []string{"eps"}, Description: "Theorem 1.1 without knowledge of α (distributed H-partition estimate)"},
+	{Name: "tree", Description: "Observation A.1: one-round 3-approx on forests"},
+	{Name: "lw", Description: "Lenzen–Wattenhofer bucket greedy baseline, unweighted"},
+	{Name: "lrg", Description: "Jia–Rajaraman–Suel local randomized greedy baseline, unweighted"},
+	{Name: "kw05", Params: []string{"k"}, Description: "Kuhn–Wattenhofer fractional+rounding baseline, unweighted"},
+}
+
+// resolveGraph turns a request's graph reference into a cached entry,
+// building (and caching) it on a miss. The returned bool reports a cache
+// hit — the build was skipped.
+func (s *Server) resolveGraph(ref string) (entryView, bool, int, error) {
+	switch {
+	case ref == "":
+		return entryView{}, false, http.StatusBadRequest, fmt.Errorf("missing graph reference")
+	case strings.HasPrefix(ref, "sha256:"):
+		e, ok := s.cache.getID(ref)
+		if !ok {
+			return entryView{}, false, http.StatusNotFound,
+				fmt.Errorf("graph %s not cached (upload it first; uploads cannot be rebuilt)", ref)
+		}
+		return e, true, 0, nil
+	case strings.HasPrefix(ref, "corpus:"):
+		if e, ok := s.cache.getName(ref); ok {
+			return e, true, 0, nil
+		}
+		g, err := loadCorpus(s.cfg.CorpusDir, strings.TrimPrefix(ref, "corpus:"))
+		if err != nil {
+			return entryView{}, false, http.StatusNotFound, fmt.Errorf("load %s: %v", ref, err)
+		}
+		built, err := buildEntry(g, ref, 0)
+		if err != nil {
+			return entryView{}, false, http.StatusInternalServerError, err
+		}
+		e, _ := s.cache.insert(built, true)
+		return e, false, 0, nil
+	case strings.HasPrefix(ref, "spec:"):
+		if e, ok := s.cache.getName(ref); ok {
+			return e, true, 0, nil
+		}
+		g, bound, err := buildSpec(strings.TrimPrefix(ref, "spec:"))
+		if err != nil {
+			return entryView{}, false, http.StatusBadRequest, fmt.Errorf("bad spec %q: %v", ref, err)
+		}
+		built, err := buildEntry(g, ref, bound)
+		if err != nil {
+			return entryView{}, false, http.StatusInternalServerError, err
+		}
+		e, _ := s.cache.insert(built, true)
+		return e, false, 0, nil
+	default:
+		return entryView{}, false, http.StatusBadRequest,
+			fmt.Errorf("graph reference %q must start with sha256:, corpus:, or spec:", ref)
+	}
+}
+
+// runAlgorithm dispatches one solve on the graph with the given options.
+func runAlgorithm(req *SolveRequest, e entryView, opts []arbods.Option) (*arbods.Report, error) {
+	g := e.g
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = e.alpha()
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = 0.2
+	}
+	t := req.T
+	if t == 0 {
+		t = 2
+	}
+	k := req.K
+	if k == 0 {
+		k = 2
+	}
+	switch req.Algorithm {
+	case "thm3.1":
+		return arbods.UnweightedDeterministic(g, alpha, eps, opts...)
+	case "", "thm1.1":
+		return arbods.WeightedDeterministic(g, alpha, eps, opts...)
+	case "thm1.2":
+		return arbods.WeightedRandomized(g, alpha, t, opts...)
+	case "thm1.3":
+		return arbods.GeneralGraphs(g, k, opts...)
+	case "remark4.4":
+		return arbods.UnknownDelta(g, alpha, eps, opts...)
+	case "remark4.5":
+		return arbods.UnknownAlpha(g, eps, opts...)
+	case "tree":
+		return arbods.TreeThreeApprox(g, opts...)
+	case "lw":
+		return arbods.LWBucketDeterministic(g, opts...)
+	case "lrg":
+		return arbods.LRGRandomized(g, opts...)
+	case "kw05":
+		rep, _, err := arbods.KW05(g, k, opts...)
+		return rep, err
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (see GET /v1/algorithms)", req.Algorithm)
+	}
+}
+
+func modeOption(mode string) (arbods.Option, error) {
+	switch mode {
+	case "", "congest":
+		return nil, nil
+	case "audit":
+		return arbods.WithMode(arbods.CongestAudit), nil
+	case "local":
+		return arbods.WithMode(arbods.Local), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (congest, audit, local)", mode)
+	}
+}
+
+// handleSolve is the request lifecycle of one solve: decode → resolve
+// graph (cache) → admission → Runner checkout → run (recycled, optionally
+// streaming round progress) → detach → receipt → respond.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.error(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	modeOpt, err := modeOption(req.Mode)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, hit, status, err := s.resolveGraph(req.Graph)
+	if err != nil {
+		s.error(w, status, "%v", err)
+		return
+	}
+
+	// Admission: bound queued solves so overload answers fast instead of
+	// stacking goroutines behind the RunnerPool.
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.rejected.Add(1)
+		s.error(w, http.StatusTooManyRequests, "server at capacity (%d solves in flight or queued)", cap(s.admit))
+		return
+	}
+
+	var stream *streamWriter
+	runner := s.pool.Get()
+	defer s.pool.Put(runner)
+	opts := []arbods.Option{
+		arbods.WithSeed(req.Seed),
+		arbods.WithRunner(runner),
+		arbods.WithWorkers(s.pool.Workers()),
+		arbods.WithRecycledResult(),
+	}
+	if modeOpt != nil {
+		opts = append(opts, modeOpt)
+	}
+	if req.MaxRounds > 0 {
+		opts = append(opts, arbods.WithMaxRounds(req.MaxRounds))
+	}
+	if req.Stream {
+		stream = newStreamWriter(w)
+		opts = append(opts, arbods.WithRoundObserver(stream.round))
+	}
+
+	rep, err := runAlgorithm(&req, e, opts)
+	if err != nil {
+		if stream != nil {
+			stream.fail(err)
+			return
+		}
+		s.error(w, http.StatusBadRequest, "run %s: %v", req.Algorithm, err)
+		return
+	}
+	// Detach before the deferred Put: the recycled Result lives on
+	// Runner-owned memory that the next checkout overwrites.
+	rep = rep.Detach()
+	s.solves.Add(1)
+
+	resp := &SolveResponse{
+		Graph:    entryInfo(e),
+		CacheHit: hit,
+		Seed:     req.Seed,
+		Receipt:  arbods.BuildReceipt(e.g, rep),
+	}
+	if req.IncludeDS {
+		resp.DS = rep.DS
+	}
+	s.logf("solve %s on %s n=%d seed=%d: size=%d rounds=%d ok=%v hit=%v",
+		req.Algorithm, e.id[:14], e.g.N(), req.Seed, resp.Receipt.SetSize, resp.Receipt.Rounds, resp.Receipt.OK, hit)
+	if stream != nil {
+		stream.finish(resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// streamWriter emits NDJSON round progress followed by the final result.
+// All writes happen on the handler goroutine (the engine invokes the
+// round observer on the run's coordinating goroutine, which is the
+// handler's), so no locking is needed.
+type streamWriter struct {
+	w       http.ResponseWriter
+	enc     *json.Encoder
+	flusher http.Flusher
+	started bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{w: w, enc: json.NewEncoder(w)}
+	sw.flusher, _ = w.(http.Flusher)
+	return sw
+}
+
+func (sw *streamWriter) start() {
+	if sw.started {
+		return
+	}
+	sw.started = true
+	sw.w.Header().Set("Content-Type", "application/x-ndjson")
+	sw.w.WriteHeader(http.StatusOK)
+}
+
+// progressLine is one streamed round.
+type progressLine struct {
+	Round       int   `json:"round"`
+	Messages    int64 `json:"messages"`
+	Bits        int64 `json:"bits"`
+	ActiveNodes int   `json:"activeNodes"`
+}
+
+func (sw *streamWriter) round(rs arbods.RoundStat) {
+	sw.start()
+	_ = sw.enc.Encode(progressLine{
+		Round: rs.Round, Messages: rs.Messages, Bits: rs.Bits, ActiveNodes: rs.ActiveNodes,
+	})
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+func (sw *streamWriter) fail(err error) {
+	sw.start()
+	_ = sw.enc.Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+func (sw *streamWriter) finish(resp *SolveResponse) {
+	sw.start()
+	_ = sw.enc.Encode(struct {
+		Result *SolveResponse `json:"result"`
+	}{Result: resp})
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}

@@ -94,6 +94,125 @@ func TestAlgorithmSurface(t *testing.T) {
 	}
 }
 
+// TestOptionSurface pins the complete root option set: every congest
+// option the library accepts must be constructible and honored through
+// the facade, so a server or client written against package arbods never
+// needs to reach into internal/congest.
+func TestOptionSurface(t *testing.T) {
+	w := arbods.ForestUnion(100, 2, 3)
+	r := arbods.NewRunner()
+	defer r.Close()
+
+	var streamed []arbods.RoundStat
+	opts := []arbods.Option{
+		arbods.WithSeed(1),
+		arbods.WithWorkers(2),
+		arbods.WithMode(arbods.CongestAudit),
+		arbods.WithBandwidth(512),
+		arbods.WithMaxRounds(10_000),
+		arbods.WithRoundStats(),
+		arbods.WithMessageStats(),
+		arbods.WithRoundObserver(func(rs arbods.RoundStat) { streamed = append(streamed, rs) }),
+		arbods.WithKnownMaxDegree(),
+		arbods.WithKnownArboricity(2),
+		arbods.WithRunner(r),
+		arbods.WithRecycledResult(),
+	}
+	rep, err := arbods.WeightedDeterministic(w.G, 2, 0.25, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != rep.Rounds() {
+		t.Fatalf("observer saw %d rounds, run took %d", len(streamed), rep.Rounds())
+	}
+	if len(rep.Result.RoundStats) != rep.Rounds() || len(rep.Result.MessageStats) == 0 {
+		t.Fatal("stats options not honored")
+	}
+
+	// Detach severs the recycled result from the Runner: values must be
+	// stable across the Runner's next run.
+	det := rep.Detach()
+	wantW := det.DSWeight
+	wantOut := det.Result.Outputs[0]
+	if _, err := arbods.WeightedDeterministic(w.G, 2, 0.25,
+		arbods.WithSeed(99), arbods.WithRunner(r), arbods.WithRecycledResult()); err != nil {
+		t.Fatal(err)
+	}
+	if det.DSWeight != wantW || det.Result.Outputs[0] != wantOut {
+		t.Fatal("detached report changed under the Runner's next run")
+	}
+	var _ *arbods.Result = det.Result // the root Result alias is the report's type
+}
+
+// TestReceiptSurface exercises BuildReceipt: the structured verification
+// record must agree with Certify and carry every check.
+func TestReceiptSurface(t *testing.T) {
+	w := arbods.ForestUnion(60, 2, 5)
+	rep, err := arbods.WeightedDeterministic(w.G, 2, 0.25, arbods.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := arbods.BuildReceipt(w.G, rep)
+	if !rec.OK || rec.Err() != nil {
+		t.Fatalf("valid run's receipt not OK: %+v", rec)
+	}
+	if rec.SetSize != len(rep.DS) || rec.SetWeight != rep.DSWeight || rec.Rounds != rep.Rounds() {
+		t.Fatalf("receipt disagrees with report: %+v", rec)
+	}
+	byName := map[string]arbods.Check{}
+	for _, c := range rec.Checks {
+		byName[c.Name] = c
+	}
+	for _, name := range []string{"domination", "packing", "ratio"} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("receipt missing %q check", name)
+		}
+		if !c.Pass && !c.Skipped {
+			t.Fatalf("check %q failed on a valid run: %+v", name, c)
+		}
+	}
+	if byName["ratio"].Skipped {
+		t.Fatal("deterministic run must not skip the ratio check")
+	}
+
+	// Expectation-only bounds skip the ratio check but still verify
+	// coverage and packing.
+	rr, err := arbods.WeightedRandomized(w.G, 2, 1, arbods.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrec := arbods.BuildReceipt(w.G, rr)
+	if !rrec.OK {
+		t.Fatalf("randomized run's receipt not OK: %+v", rrec)
+	}
+	for _, c := range rrec.Checks {
+		if c.Name == "ratio" && !c.Skipped {
+			t.Fatal("expectation-only run must skip the ratio check")
+		}
+	}
+
+	// A sabotaged report fails with the same typed error Certify reports.
+	bad := rep.Detach()
+	for v := range bad.Result.Outputs {
+		if bad.Result.Outputs[v].InDS {
+			bad.Result.Outputs[v].InDS = false
+			break
+		}
+	}
+	brec := arbods.BuildReceipt(w.G, bad)
+	if brec.OK || brec.Err() == nil {
+		t.Fatal("sabotaged report's receipt OK")
+	}
+	var ce *arbods.CertError
+	if !errors.As(brec.Err(), &ce) || ce.Stage != "domination" {
+		t.Fatalf("want domination CertError, got %v", brec.Err())
+	}
+	if (arbods.Certify(w.G, bad) == nil) != brec.OK {
+		t.Fatal("Certify and BuildReceipt disagree")
+	}
+}
+
 // TestCertifySurface exercises the certificate helpers and error paths.
 func TestCertifySurface(t *testing.T) {
 	w := arbods.ForestUnion(60, 2, 5)
