@@ -30,13 +30,15 @@ bench-json:
 	$(GO) run ./cmd/mdsbench -scale small -seed 1 -format json
 
 # Compare two committed engine-benchmark records (benchstat format). The
-# defaults pin the PR 4 arena/flat-inbox/Runner engine against the PR 5
-# batch-execution engine; override with BENCH_OLD=/BENCH_NEW= to
-# compare other points on the trajectory (PR 1's and PR 3's records are
-# also committed). Uses benchstat when available (CI installs it); falls
-# back to printing both records side by side offline.
-BENCH_OLD ?= BENCH_2026-07-29_engine_pr4.txt
-BENCH_NEW ?= BENCH_2026-07-29_engine_pr5.txt
+# defaults pin the PR 5 batch-execution engine against the PR 7
+# context-aware engine (the per-round cancellation check must cost
+# nothing at workers=1); override with BENCH_OLD=/BENCH_NEW= to
+# compare other points on the trajectory (PR 1's, PR 3's, and PR 4's
+# records are also committed). Uses benchstat when available (CI
+# installs it); falls back to printing both records side by side
+# offline.
+BENCH_OLD ?= BENCH_2026-07-29_engine_pr5.txt
+BENCH_NEW ?= BENCH_2026-08-07_engine_pr7.txt
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(BENCH_OLD) $(BENCH_NEW); \
@@ -56,22 +58,25 @@ alloc-gate:
 	$(GO) test ./internal/congest/ -run TestAllocationCeiling -count=1 -v
 
 # Race-mode batch smoke: the concurrent RunnerPool/Batch paths (slot
-# determinism, aborted-job recovery, checkout under contention) and the
-# bench layer's parallel-vs-sequential table identity, under the race
-# detector. Runs inside `make race` too; this target exists so CI (and
-# humans) can exercise exactly the batch stack next to alloc-gate.
+# determinism, aborted-job recovery, checkout under contention,
+# context-cancelled checkouts and batches) and the bench layer's
+# parallel-vs-sequential table identity plus sweep cancellation, under
+# the race detector. Runs inside `make race` too; this target exists so
+# CI (and humans) can exercise exactly the batch stack next to
+# alloc-gate.
 batch-race:
-	$(GO) test ./internal/congest/ -race -run 'TestBatch|TestRunnerPool' -count=1
-	$(GO) test ./internal/bench/ -race -run TestParallelMatchesSequential -count=1
+	$(GO) test ./internal/congest/ -race -run 'TestBatch|TestRunBatch|TestRunnerPool|TestGetContext' -count=1
+	$(GO) test ./internal/bench/ -race -run 'TestParallelMatchesSequential|TestSweepCancellation' -count=1
 
 # Race-mode serving smoke: the arbods-server stack (content-addressed
-# graph cache, admission control, pooled solves with Detach hand-off,
-# NDJSON streaming) plus the daemon round trip and the Detach lifetime
-# test, under the race detector. Runs inside `make race` too; this target
-# exists so CI (and humans) can exercise exactly the serving stack next
-# to batch-race.
+# graph cache, solve-response cache, singleflight builds, admission
+# control, deadline/disconnect cancellation, pooled solves with Detach
+# hand-off, NDJSON streaming) plus the daemon round trip and the
+# engine-side Detach/observer/context tests, under the race detector.
+# Runs inside `make race` too; this target exists so CI (and humans)
+# can exercise exactly the serving stack next to batch-race.
 server-race:
 	$(GO) test ./internal/server/ ./cmd/arbods-server/ -race -count=1
-	$(GO) test ./internal/congest/ -race -run 'TestDetach|TestRoundObserver' -count=1
+	$(GO) test ./internal/congest/ -race -run 'TestDetach|TestRoundObserver|TestRunContext|TestGetContext' -count=1
 
 ci: build vet fmt-check race

@@ -11,8 +11,15 @@
 //	GET  /v1/graphs/{id} metadata for one cached graph
 //	POST /v1/solve       run an algorithm, get the set + receipt
 //	GET  /v1/algorithms  servable algorithms and their parameters
-//	GET  /v1/stats       cache and pool counters
+//	GET  /v1/stats       cache, pool, and outcome counters
+//	GET  /v1/metrics     solve-path latency histograms
 //	GET  /healthz        liveness plus stats
+//
+// Solves run under a context: -solve-timeout bounds each request (a run
+// past the deadline aborts at its next round barrier and answers 503
+// with Retry-After), and a client that disconnects cancels its run the
+// same way. Identical requests are answered from a response cache
+// (-max-solves entries) keyed by graph, algorithm, parameters, and seed.
 //
 // SIGINT/SIGTERM drain in-flight requests before the RunnerPool is
 // released.
@@ -53,6 +60,8 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		inflight  = fs.Int("inflight", 0, "max admitted solves before 429 (0 = 4×pool)")
 		maxUpload = fs.Int64("max-upload", 0, "max graph upload bytes (0 = 64 MiB)")
 		maxGraphs = fs.Int("max-graphs", 0, "max cached built graphs, LRU-evicted (0 = 64)")
+		maxSolves = fs.Int("max-solves", 0, "max cached solve answers, LRU-evicted (0 = 256)")
+		solveTO   = fs.Duration("solve-timeout", 0, "per-solve deadline; past it the run aborts and answers 503 (0 = none)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 		quiet     = fs.Bool("quiet", false, "suppress per-request log lines")
 	)
@@ -70,6 +79,8 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		MaxInflight:     *inflight,
 		MaxUploadBytes:  *maxUpload,
 		MaxCachedGraphs: *maxGraphs,
+		MaxCachedSolves: *maxSolves,
+		SolveTimeout:    *solveTO,
 		Logf:            logf,
 	})
 

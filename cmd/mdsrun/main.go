@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -63,6 +64,7 @@ func run(args []string) error {
 		receipt = fs.Bool("receipt", false, "print the full verification receipt instead of the summary")
 		workers = fs.Int("workers", 0, "simulator goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		local   = fs.Bool("local", false, "run in the LOCAL model (no bandwidth limit)")
+		timeout = fs.Duration("timeout", 0, "abort the run after this long (checked at each round barrier; 0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +75,11 @@ func run(args []string) error {
 	}
 	if *local {
 		opts = append(opts, arbods.WithMode(arbods.Local))
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, arbods.WithContext(ctx))
 	}
 
 	g, name, bound, err := loadGraph(*genSpec, *file)

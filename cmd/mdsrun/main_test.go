@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -56,6 +57,19 @@ func TestRunFromFile(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "thm1.1", "-graph", path}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	silenceStdout(t)
+	// A generous deadline changes nothing about the run...
+	if err := run([]string{"-algo", "thm1.1", "-gen", "forest:n=40,k=2", "-timeout", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...an expired one aborts it with the context error.
+	err := run([]string{"-algo", "thm1.1", "-gen", "forest:n=40,k=2", "-timeout", "1ns"})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("expired -timeout: err = %v, want a deadline error", err)
 	}
 }
 

@@ -107,6 +107,21 @@
 // deep-copies it onto ordinary heap memory in one pass. Detach is opt-in
 // precisely so the recycled hot path stays allocation-free.
 //
+// # Cancellation
+//
+// Every run can carry a context: pass WithContext(ctx) as an option (or
+// use the RunContext / RunBatchContext spellings, and RunnerPool.GetContext
+// for checkouts). The contract is round-granular — the engine checks the
+// context exactly once per round, at the synchronous barrier before the
+// step phase, so a live context costs one nil comparison per round (no
+// allocations, no transcript change) and cancellation lands within one
+// round of the deadline. A cancelled run returns ctx.Err() wrapped with
+// the round it stopped at, delivers no partial results, and leaves its
+// Runner fully reusable: the next run on it is bit-identical to a run on
+// a fresh Runner. In a cancelled batch, jobs not yet holding a Runner
+// fail with ctx.Err() at their submission slots; jobs already in flight
+// run to completion unless they thread the context themselves.
+//
 // # Serving daemon
 //
 // cmd/arbods-server packages the serving and batch patterns as a
@@ -118,8 +133,14 @@
 // a verification Receipt — the coverage proof, the packing feasibility,
 // and the α-bound ratio check, recomputed from the graph and the run.
 // Receipts are deterministic per (graph, algorithm, parameters, seed):
-// repeating a request returns byte-identical receipt JSON. BuildReceipt
-// is the same verification the CLI's -receipt flag and the benchmark
-// harness use; Certify is its error-only form. See the README "Serving"
-// section and examples/server for the client round trip.
+// repeating a request returns byte-identical receipt JSON — which is
+// what lets the server answer repeat requests from a response-level
+// solve cache keyed by exactly that tuple. Solves run under the request
+// context (a per-solve deadline or a client disconnect aborts the run at
+// its next round barrier and frees the Runner), concurrent cold requests
+// for the same graph share one build via singleflight, and /v1/metrics
+// exposes latency histograms for the build, queue, solve, and total
+// phases. BuildReceipt is the same verification the CLI's -receipt flag
+// and the benchmark harness use; Certify is its error-only form. See the
+// README "Serving" section and examples/server for the client round trip.
 package arbods

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,6 +51,12 @@ type Config struct {
 	// warmed Runners then carry across every experiment of the sweep. Nil
 	// makes each batch build a transient pool.
 	Pool *congest.RunnerPool
+	// Ctx, when set, cancels the sweep: sequential batches stop between
+	// jobs, parallel batches stop starting jobs, and every simulator run
+	// threads it through congest.WithContext so in-flight rounds abort at
+	// their next barrier. Nil never cancels. Attaching a live context
+	// changes no transcript — tables stay bit-identical.
+	Ctx context.Context
 }
 
 // opts returns the simulator options every sequential experiment run
@@ -65,8 +72,11 @@ func (c Config) opts(seed uint64, extra ...congest.Option) []congest.Option {
 // the config-level Runner, which concurrent jobs must never share. A nil
 // slot — sequential execution — falls back to opts' behavior exactly.
 func (c Config) optsOn(slot []congest.Option, seed uint64, extra ...congest.Option) []congest.Option {
-	o := make([]congest.Option, 0, 2+len(slot)+len(extra))
+	o := make([]congest.Option, 0, 3+len(slot)+len(extra))
 	o = append(o, congest.WithSeed(seed))
+	if c.Ctx != nil {
+		o = append(o, congest.WithContext(c.Ctx))
+	}
 	if slot != nil {
 		o = append(o, slot...)
 	} else if c.Runner != nil {
@@ -87,6 +97,11 @@ func (c Config) optsOn(slot []congest.Option, seed uint64, extra ...congest.Opti
 func (c Config) batch(n int, job func(i int, slot []congest.Option) error) error {
 	if c.Parallel <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if c.Ctx != nil {
+				if err := c.Ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := job(i, nil); err != nil {
 				return err
 			}
@@ -102,7 +117,12 @@ func (c Config) batch(n int, job func(i int, slot []congest.Option) error) error
 		pool = congest.NewRunnerPool(size)
 		defer pool.Close()
 	}
-	b := pool.Batch()
+	var b *congest.Batch
+	if c.Ctx != nil {
+		b = pool.BatchContext(c.Ctx)
+	} else {
+		b = pool.Batch()
+	}
 	for i := 0; i < n; i++ {
 		b.Submit(func(r *congest.Runner, workers int) error {
 			return job(i, []congest.Option{congest.WithRunner(r), congest.WithWorkers(workers)})

@@ -1,6 +1,8 @@
 package bench_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -58,6 +60,32 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Fatalf("Parallel=2 (transient pools) tables differ from the sequential sweep:\n%s", firstDiff(want, got))
 		}
 	})
+
+	// A live context is invisible: every emitted number stays identical.
+	t.Run("live-context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		par, err := bench.RunAll(bench.Config{Seed: 1, Scale: bench.Small, Parallel: 2, Ctx: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(par); got != want {
+			t.Fatalf("Ctx-attached tables differ from the sequential sweep:\n%s", firstDiff(want, got))
+		}
+	})
+}
+
+// TestSweepCancellation: a dead context stops a sweep — sequential and
+// parallel — with ctx.Err() instead of running the experiments.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []int{1, 2} {
+		_, err := bench.RunAll(bench.Config{Seed: 1, Scale: bench.Small, Parallel: parallel, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Parallel=%d: err = %v, want context.Canceled", parallel, err)
+		}
+	}
 }
 
 // firstDiff localizes the first differing line for a readable failure.

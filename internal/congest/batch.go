@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -13,6 +14,13 @@ import (
 // it owns — the batch pattern is that job i writes its result into slot i
 // of a caller-owned slice, so the assembled results are identical to the
 // sequential sweep no matter how the scheduler interleaves execution.
+//
+// Cancellation is two-layered: a batch created with BatchContext stops
+// *starting* jobs once its context dies, but a job already holding a
+// Runner runs to completion unless the job itself observes the same
+// context — a cancellable job captures ctx and threads it into its runs
+// with WithContext(ctx) (or RunContext), so in-flight simulator rounds
+// abort too.
 type Job func(r *Runner, workers int) error
 
 // Batch schedules independent jobs across a RunnerPool with bounded
@@ -29,6 +37,7 @@ type Job func(r *Runner, workers int) error
 // a Batch must not be reused after Wait — create a new one per phase.
 type Batch struct {
 	pool *RunnerPool
+	ctx  context.Context // nil = never canceled
 	wg   sync.WaitGroup
 	n    int
 
@@ -37,8 +46,21 @@ type Batch struct {
 	err    error
 }
 
-// Batch starts an empty batch on the pool.
+// Batch starts an empty batch on the pool; its jobs are never canceled
+// by a context (BatchContext adds that).
 func (p *RunnerPool) Batch() *Batch { return &Batch{pool: p, errIdx: -1} }
+
+// BatchContext starts an empty batch whose remaining slots are canceled
+// when ctx dies: a submitted job that has not yet checked a Runner out
+// when the context is canceled never starts, and its slot fails with
+// ctx.Err(). Jobs already running are not interrupted by the batch —
+// they cancel only if they thread the same ctx into their runs
+// (WithContext). Error reporting keeps the deterministic lowest-slot
+// rule: Wait returns the lowest-slot failure, whether that is a job
+// error or a cancellation.
+func (p *RunnerPool) BatchContext(ctx context.Context) *Batch {
+	return &Batch{pool: p, ctx: ctx, errIdx: -1}
+}
 
 // Submit enqueues a job. Not goroutine-safe: submissions come from the
 // coordinating goroutine, in the order that defines the slot indices.
@@ -48,16 +70,24 @@ func (b *Batch) Submit(job Job) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		r := b.pool.Get()
+		r, err := b.pool.GetContext(b.ctx)
+		if err != nil {
+			b.recordErr(idx, err)
+			return
+		}
 		defer b.pool.Put(r)
 		if err := job(r, b.pool.workers); err != nil {
-			b.mu.Lock()
-			if b.errIdx < 0 || idx < b.errIdx {
-				b.errIdx, b.err = idx, err
-			}
-			b.mu.Unlock()
+			b.recordErr(idx, err)
 		}
 	}()
+}
+
+func (b *Batch) recordErr(idx int, err error) {
+	b.mu.Lock()
+	if b.errIdx < 0 || idx < b.errIdx {
+		b.errIdx, b.err = idx, err
+	}
+	b.mu.Unlock()
 }
 
 // Wait blocks until every submitted job is done and returns the first
@@ -76,6 +106,15 @@ func (b *Batch) Wait() error {
 // running several batches should hold their own RunnerPool and use
 // Batch/Submit/Wait instead, so the warmed Runners carry over.
 func RunBatch(parallel int, jobs ...Job) error {
+	return RunBatchContext(context.Background(), parallel, jobs...)
+}
+
+// RunBatchContext is RunBatch under a context: once ctx dies, jobs that
+// have not started fail with ctx.Err() in their slots (running jobs
+// finish unless they observe ctx themselves — see Job), and the first
+// error in submission order is returned. The sequential parallel = 1
+// path checks ctx between jobs, preserving the same contract.
+func RunBatchContext(ctx context.Context, parallel int, jobs ...Job) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -89,6 +128,9 @@ func RunBatch(parallel int, jobs ...Job) error {
 		r := NewRunner()
 		defer r.Close()
 		for _, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := job(r, runtime.GOMAXPROCS(0)); err != nil {
 				return err
 			}
@@ -97,7 +139,7 @@ func RunBatch(parallel int, jobs ...Job) error {
 	}
 	pool := NewRunnerPool(parallel)
 	defer pool.Close()
-	b := pool.Batch()
+	b := pool.BatchContext(ctx)
 	for _, job := range jobs {
 		b.Submit(job)
 	}

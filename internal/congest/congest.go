@@ -75,6 +75,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -182,6 +183,7 @@ type config struct {
 	roundObs   func(RoundStat) // per-round progress hook (nil = none)
 	runner     *Runner         // nil = transient per-run state
 	recycle    bool            // Result.Outputs/MessageStats on runner-owned memory
+	ctx        context.Context // run cancellation; nil = never canceled
 }
 
 // Option configures a run.
@@ -227,6 +229,23 @@ func WithRoundStats() Option { return optionFunc(func(c *config) { c.roundStats 
 // result (Result.MessageStats), keyed by tag name. Costs two array adds
 // per message.
 func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats = true }) }
+
+// WithContext attaches ctx to the run so option-based callers — the mds
+// algorithm wrappers, the server's solve path, anything that forwards
+// ...Option — get cancellation without a signature change. RunContext is
+// the canonical context-first spelling for direct engine runs; the two
+// are interchangeable (RunContext is implemented with this option, and
+// the later of the two wins when both appear).
+//
+// Cancellation contract: the engine checks ctx at the per-round barrier,
+// so a canceled run returns ctx.Err() within one round of the
+// cancellation — it never interrupts a round midway. The aborted run's
+// Runner is immediately reusable (the next bind resets all per-run
+// state) and there are no partial results: the error return is the whole
+// outcome. A nil ctx means "never canceled".
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(c *config) { c.ctx = ctx })
+}
 
 // WithRoundObserver calls fn once per completed round with that round's
 // traffic — the live-streaming form of WithRoundStats. fn runs on the
@@ -428,7 +447,9 @@ func (s *Sender) neighborPos(v int) int {
 // and transcript statistics. The transcript is bit-identical for every
 // worker count (see engine.go for the phase structure that guarantees it)
 // and independent of whether the run executes on transient state or on a
-// reused Runner (WithRunner).
+// reused Runner (WithRunner). Run is the context-free convenience over
+// RunContext — it never cancels (unless a WithContext option says
+// otherwise).
 func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O], error) {
 	cfg := config{
 		mode:      Congest,
@@ -452,6 +473,21 @@ func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O],
 	}
 	defer r.release(transient)
 	return e.run()
+}
+
+// RunContext is Run with a cancellation context: the engine checks ctx at
+// the per-round barrier, so after ctx is canceled (deadline, client
+// disconnect, caller Cancel) the run returns ctx.Err() within one round.
+// A canceled run has no partial results, and its Runner (WithRunner) is
+// immediately reusable — the next run on it is bit-identical to one on a
+// fresh Runner. There is no Runner.RunContext method form: Go methods
+// cannot be type-parameterized, so RunContext(ctx, …, WithRunner(r)) is
+// that spelling.
+func RunContext[O any](ctx context.Context, g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O], error) {
+	all := make([]Option, 0, len(opts)+1)
+	all = append(all, WithContext(ctx))
+	all = append(all, opts...)
+	return Run(g, factory, all...)
 }
 
 // ErrNotRun is returned by helpers that require a completed run.

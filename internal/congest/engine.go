@@ -35,6 +35,11 @@ type engine[O any] struct {
 	budget int
 	round  int
 
+	// ctxDone is cfg.ctx.Done(), captured once: nil for a context-free
+	// run (or context.Background()), so the per-round cancellation check
+	// costs a single nil comparison unless a real context is attached.
+	ctxDone <-chan struct{}
+
 	procs []Proc[O]
 	res   *Result[O]
 
@@ -48,6 +53,9 @@ func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config)
 	}
 	n := g.N()
 	e := &engine[O]{Runner: r, cfg: cfg}
+	if cfg.ctx != nil {
+		e.ctxDone = cfg.ctx.Done()
+	}
 	if cfg.mode != Local {
 		e.budget = cfg.bandwidth
 		if e.budget == 0 {
@@ -109,6 +117,19 @@ func (e *engine[O]) run() (*Result[O], error) {
 		}
 		if round >= e.cfg.maxRounds {
 			return nil, fmt.Errorf("congest: exceeded max rounds (%d) with %d active nodes", e.cfg.maxRounds, activeCount)
+		}
+		// The per-round barrier is the cancellation point: a canceled
+		// context aborts here, before the next round's step phase, so the
+		// run returns ctx.Err() within one round of the cancellation and
+		// never tears a round apart mid-phase. The Runner's next bind
+		// resets all per-run state, exactly as for the other abort paths
+		// (Sender errors, bandwidth violations, the round cap above).
+		if e.ctxDone != nil {
+			select {
+			case <-e.ctxDone:
+				return nil, e.cfg.ctx.Err()
+			default:
+			}
 		}
 		e.round = round
 

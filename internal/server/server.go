@@ -19,7 +19,21 @@
 //     parameters, seed): the same request twice returns byte-identical
 //     receipt JSON;
 //   - long runs stream round-level progress as NDJSON when the request
-//     asks for it, riding the engine's WithRoundObserver hook.
+//     asks for it, riding the engine's WithRoundObserver hook;
+//   - that same determinism powers a response-level solve cache: answers
+//     are keyed by (graph, algorithm, parameters, seed) after default
+//     normalization, so a repeated request skips the engine and returns
+//     the byte-identical receipt from an LRU of past answers;
+//   - concurrent cold builds of the same graph reference coalesce through
+//     a singleflight group — one build, many waiters;
+//   - every solve runs under a context: the configured server deadline
+//     and the client's disconnect both cancel the engine at its next
+//     round barrier (503 + Retry-After for the deadline, 499 for the
+//     departed client), so a stuck or abandoned run frees its Runner
+//     within one round instead of holding a pool slot hostage;
+//   - /v1/stats counts both cache layers plus rejections, timeouts and
+//     cancellations, and /v1/metrics serves log-spaced latency histograms
+//     for the build, queue, solve and total phases of the request.
 package server
 
 import (
@@ -30,6 +44,7 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"arbods"
 )
@@ -48,6 +63,13 @@ type Config struct {
 	MaxUploadBytes int64
 	// MaxCachedGraphs bounds resident built graphs, LRU-evicted (0 = 64).
 	MaxCachedGraphs int
+	// MaxCachedSolves bounds cached solve answers, LRU-evicted (0 = 256).
+	MaxCachedSolves int
+	// SolveTimeout bounds one solve request end to end (0 = no server
+	// deadline; the client's disconnect still cancels). A run that hits
+	// the deadline aborts at the next round barrier and answers 503 with
+	// a Retry-After header.
+	SolveTimeout time.Duration
 	// Logf receives one line per request outcome (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -57,14 +79,20 @@ type Config struct {
 // execute on. Create with New, serve via ServeHTTP, and Close after the
 // HTTP server has fully shut down (Close waits for every Runner).
 type Server struct {
-	cfg   Config
-	pool  *arbods.RunnerPool
-	cache *graphCache
-	mux   *http.ServeMux
-	admit chan struct{}
+	cfg    Config
+	pool   *arbods.RunnerPool
+	cache  *graphCache
+	scache *solveCache
+	flight flightGroup
+	mux    *http.ServeMux
+	admit  chan struct{}
 
-	solves   atomic.Int64
-	rejected atomic.Int64
+	solves   atomic.Int64 // answered solves, response-cache hits included
+	rejected atomic.Int64 // admission overflows (429)
+	timeouts atomic.Int64 // solves lost to the deadline (503)
+	canceled atomic.Int64 // solves lost to client disconnect (499)
+	builds   atomic.Int64 // graph builds executed (singleflight leaders)
+	lat      latencySet
 }
 
 // New builds a Server from cfg.
@@ -77,11 +105,12 @@ func New(cfg Config) *Server {
 		cfg.MaxInflight = 4 * pool.Size()
 	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  pool,
-		cache: newGraphCache(cfg.MaxCachedGraphs),
-		mux:   http.NewServeMux(),
-		admit: make(chan struct{}, cfg.MaxInflight),
+		cfg:    cfg,
+		pool:   pool,
+		cache:  newGraphCache(cfg.MaxCachedGraphs),
+		scache: newSolveCache(cfg.MaxCachedSolves),
+		mux:    http.NewServeMux(),
+		admit:  make(chan struct{}, cfg.MaxInflight),
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -89,6 +118,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -205,34 +235,57 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, algorithmCatalog)
 }
 
-// Stats is the /v1/stats payload.
+// Stats is the /v1/stats payload. Two cache layers report separately:
+// cacheHits/cacheMisses count graph-build lookups (was the CSR resident?),
+// solveCacheHits/solveCacheMisses count answer lookups (was this exact
+// solve already computed?). solves counts answered solves — response-cache
+// hits included — so engine runs = solves − solveCacheHits − streamed
+// cache bypasses; builds counts graph builds actually executed, which
+// singleflight keeps at one per cold reference no matter how many
+// requests race on it.
 type Stats struct {
-	Graphs      int   `json:"graphs"`
-	CacheHits   int64 `json:"cacheHits"`
-	CacheMisses int64 `json:"cacheMisses"`
-	Solves      int64 `json:"solves"`
-	Rejected    int64 `json:"rejected"`
-	PoolSize    int   `json:"poolSize"`
-	PoolWorkers int   `json:"poolWorkers"`
-	MaxInflight int   `json:"maxInflight"`
+	Graphs           int   `json:"graphs"`
+	CacheHits        int64 `json:"cacheHits"`
+	CacheMisses      int64 `json:"cacheMisses"`
+	SolveCacheHits   int64 `json:"solveCacheHits"`
+	SolveCacheMisses int64 `json:"solveCacheMisses"`
+	Builds           int64 `json:"builds"`
+	Solves           int64 `json:"solves"`
+	Rejected         int64 `json:"rejected"`
+	Timeouts         int64 `json:"timeouts"`
+	Canceled         int64 `json:"canceled"`
+	PoolSize         int   `json:"poolSize"`
+	PoolWorkers      int   `json:"poolWorkers"`
+	MaxInflight      int   `json:"maxInflight"`
 }
 
 func (s *Server) statsNow() Stats {
 	entries, hits, misses := s.cache.snapshot()
+	shits, smisses := s.scache.counters()
 	return Stats{
-		Graphs:      len(entries),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		Solves:      s.solves.Load(),
-		Rejected:    s.rejected.Load(),
-		PoolSize:    s.pool.Size(),
-		PoolWorkers: s.pool.Workers(),
-		MaxInflight: cap(s.admit),
+		Graphs:           len(entries),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		SolveCacheHits:   shits,
+		SolveCacheMisses: smisses,
+		Builds:           s.builds.Load(),
+		Solves:           s.solves.Load(),
+		Rejected:         s.rejected.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Canceled:         s.canceled.Load(),
+		PoolSize:         s.pool.Size(),
+		PoolWorkers:      s.pool.Workers(),
+		MaxInflight:      cap(s.admit),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.statsNow())
+}
+
+// handleMetrics serves the solve-path latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.lat.snapshot())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -242,15 +295,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: "ok", Stats: s.statsNow()})
 }
 
-// errorBody is the uniform JSON error envelope.
+// errorBody is the uniform JSON error envelope: a human-readable message
+// plus a stable machine-readable code, the same shape on every /v1/
+// handler so clients switch on code, not on message text.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// StatusClientClosedRequest reports a solve abandoned because the client
+// disconnected mid-request (nginx's 499; Go's net/http has no name for
+// it). The status is moot to the departed client but keeps logs and
+// tests honest about why the run stopped.
+const StatusClientClosedRequest = 499
+
+// defaultCode maps a status to its error code for the handlers that have
+// exactly one failure meaning per status. Handlers with a more specific
+// cause (deadline_exceeded, canceled) pass it to errorCode directly.
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusTooManyRequests:
+		return "at_capacity"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case StatusClientClosedRequest:
+		return "canceled"
+	default:
+		return "internal"
+	}
 }
 
 func (s *Server) error(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errorCode(w, status, defaultCode(status), format, args...)
+}
+
+func (s *Server) errorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	s.logf("error %d: %s", status, msg)
-	s.writeJSON(w, status, errorBody{Error: msg})
+	s.logf("error %d %s: %s", status, code, msg)
+	s.writeJSON(w, status, errorBody{Error: msg, Code: code})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

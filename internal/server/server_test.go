@@ -4,13 +4,16 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"arbods"
 	"arbods/internal/server"
@@ -57,11 +60,12 @@ func postJSON(t *testing.T, url string, req any) (*http.Response, []byte) {
 // rawSolveResponse shadows server.SolveResponse to capture the receipt's
 // raw bytes for byte-identity assertions.
 type rawSolveResponse struct {
-	Graph    server.GraphInfo `json:"graph"`
-	CacheHit bool             `json:"cacheHit"`
-	Seed     uint64           `json:"seed"`
-	DS       []int            `json:"ds"`
-	Receipt  json.RawMessage  `json:"receipt"`
+	Graph       server.GraphInfo `json:"graph"`
+	CacheHit    bool             `json:"cacheHit"`
+	SolveCached bool             `json:"solveCached"`
+	Seed        uint64           `json:"seed"`
+	DS          []int            `json:"ds"`
+	Receipt     json.RawMessage  `json:"receipt"`
 }
 
 func solveRaw(t *testing.T, base string, req server.SolveRequest) (*http.Response, rawSolveResponse, []byte) {
@@ -435,14 +439,15 @@ func TestSolveErrors(t *testing.T) {
 		name   string
 		req    server.SolveRequest
 		status int
+		code   string
 	}{
-		{"missing graph", server.SolveRequest{}, http.StatusBadRequest},
-		{"bare ref", server.SolveRequest{Graph: "nope"}, http.StatusBadRequest},
-		{"unknown id", server.SolveRequest{Graph: "sha256:" + strings.Repeat("0", 64)}, http.StatusNotFound},
-		{"bad spec", server.SolveRequest{Graph: "spec:warp:n=1"}, http.StatusBadRequest},
-		{"unknown algorithm", server.SolveRequest{Graph: "spec:path:n=10", Algorithm: "thm9.9"}, http.StatusBadRequest},
-		{"bad mode", server.SolveRequest{Graph: "spec:path:n=10", Mode: "quantum"}, http.StatusBadRequest},
-		{"invalid params", server.SolveRequest{Graph: "spec:path:n=10", Algorithm: "thm1.1", Eps: 7}, http.StatusBadRequest},
+		{"missing graph", server.SolveRequest{}, http.StatusBadRequest, "bad_request"},
+		{"bare ref", server.SolveRequest{Graph: "nope"}, http.StatusBadRequest, "bad_request"},
+		{"unknown id", server.SolveRequest{Graph: "sha256:" + strings.Repeat("0", 64)}, http.StatusNotFound, "not_found"},
+		{"bad spec", server.SolveRequest{Graph: "spec:warp:n=1"}, http.StatusBadRequest, "bad_request"},
+		{"unknown algorithm", server.SolveRequest{Graph: "spec:path:n=10", Algorithm: "thm9.9"}, http.StatusBadRequest, "run_failed"},
+		{"bad mode", server.SolveRequest{Graph: "spec:path:n=10", Mode: "quantum"}, http.StatusBadRequest, "bad_request"},
+		{"invalid params", server.SolveRequest{Graph: "spec:path:n=10", Algorithm: "thm1.1", Eps: 7}, http.StatusBadRequest, "run_failed"},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, ts.URL+"/v1/solve", tc.req)
@@ -451,9 +456,13 @@ func TestSolveErrors(t *testing.T) {
 		}
 		var eb struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
 		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
 			t.Errorf("%s: malformed error body %s", tc.name, body)
+		}
+		if eb.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, eb.Code, tc.code)
 		}
 	}
 
@@ -501,6 +510,191 @@ func TestLRUEviction(t *testing.T) {
 	resp, _ := postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{Graph: ra.Graph.ID, Seed: 1})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("evicted id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func serverStats(t *testing.T, base string) server.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestSolveCacheHit pins the response-level cache: a repeated identical
+// solve is answered from the cache — no engine run — with the
+// byte-identical receipt and dominating set, and the hit/miss counters
+// move accordingly.
+func TestSolveCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{PoolSize: 1})
+	req := server.SolveRequest{
+		Graph: "spec:cycle:n=60", Algorithm: "thm1.1", Seed: 7, IncludeDS: true,
+	}
+
+	_, first, _ := solveRaw(t, ts.URL, req)
+	if first.SolveCached {
+		t.Fatal("first solve claims a cached answer")
+	}
+	_, second, _ := solveRaw(t, ts.URL, req)
+	if !second.SolveCached {
+		t.Fatal("repeated identical solve did not hit the solve cache")
+	}
+	if !bytes.Equal(first.Receipt, second.Receipt) {
+		t.Fatalf("cached receipt differs:\n%s\nvs\n%s", first.Receipt, second.Receipt)
+	}
+	if len(first.DS) == 0 || !slices.Equal(first.DS, second.DS) {
+		t.Fatalf("cached DS differs: %v vs %v", first.DS, second.DS)
+	}
+
+	// An equivalent request spelled with explicit defaults shares the
+	// entry: keys are built after normalization.
+	_, spelled, _ := solveRaw(t, ts.URL, server.SolveRequest{
+		Graph: "spec:cycle:n=60", Algorithm: "thm1.1", Alpha: first.Graph.Alpha,
+		Eps: 0.2, T: 2, K: 2, Mode: "congest", Seed: 7, IncludeDS: true,
+	})
+	if !spelled.SolveCached || !bytes.Equal(first.Receipt, spelled.Receipt) {
+		t.Fatal("normalized-equivalent request missed the solve cache")
+	}
+	// A different seed is a different answer, not a hit.
+	_, other, _ := solveRaw(t, ts.URL, server.SolveRequest{
+		Graph: "spec:cycle:n=60", Algorithm: "thm1.1", Seed: 8, IncludeDS: true,
+	})
+	if other.SolveCached {
+		t.Fatal("different seed served from the solve cache")
+	}
+
+	stats := serverStats(t, ts.URL)
+	if stats.SolveCacheHits != 2 || stats.SolveCacheMisses != 2 {
+		t.Fatalf("solve cache counters hits=%d misses=%d, want 2/2", stats.SolveCacheHits, stats.SolveCacheMisses)
+	}
+	if stats.Solves != 4 {
+		t.Fatalf("solves=%d, want 4 (cached answers count as served solves)", stats.Solves)
+	}
+}
+
+// TestSingleflightBuilds: N clients racing on the same cold graph
+// reference trigger exactly one build — the singleflight leader's — no
+// matter how the requests interleave (late arrivals hit the graph cache,
+// early ones wait on the flight).
+func TestSingleflightBuilds(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{PoolSize: 4})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := json.Marshal(server.SolveRequest{
+				Graph: "spec:ba:n=400,m=3,seed=5", Algorithm: "thm1.1", Alpha: 3, Seed: uint64(i),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				var buf bytes.Buffer
+				_, _ = buf.ReadFrom(resp.Body)
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, buf.String())
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	stats := serverStats(t, ts.URL)
+	if stats.Builds != 1 {
+		t.Fatalf("builds=%d, want 1 (singleflight must coalesce concurrent builds)", stats.Builds)
+	}
+	if stats.Graphs != 1 || stats.Solves != clients {
+		t.Fatalf("stats after race: %+v", stats)
+	}
+}
+
+// TestSolveDeadline: a server deadline too short for any run answers 503
+// with the deadline_exceeded code and a Retry-After hint, the engine
+// aborts at its first round barrier, and — because the test's cleanup
+// closes the server, which blocks until every Runner is home — the
+// aborted runs demonstrably return their Runners to the pool.
+func TestSolveDeadline(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{PoolSize: 1, SolveTimeout: time.Nanosecond})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+			Graph: "spec:grid:r=12,c=12", Algorithm: "thm1.1", Seed: uint64(i),
+		})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status %d, want 503 (%s)", i, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Fatalf("attempt %d: 503 without Retry-After", i)
+		}
+		var eb struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Code != "deadline_exceeded" {
+			t.Fatalf("attempt %d: code %q, want deadline_exceeded (%s)", i, eb.Code, body)
+		}
+	}
+	stats := serverStats(t, ts.URL)
+	if stats.Timeouts != 3 || stats.Solves != 0 {
+		t.Fatalf("timeouts=%d solves=%d, want 3/0", stats.Timeouts, stats.Solves)
+	}
+}
+
+// TestMetricsEndpoint pins the /v1/metrics histogram behavior: an
+// engine-run solve moves every phase histogram, a cached repeat moves
+// only the total, and buckets are cumulative.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{PoolSize: 1})
+	req := server.SolveRequest{Graph: "spec:path:n=80", Algorithm: "thm1.1", Seed: 3}
+	_, _, _ = solveRaw(t, ts.URL, req) // cold: build + queue + solve + total
+	_, cached, _ := solveRaw(t, ts.URL, req)
+	if !cached.SolveCached {
+		t.Fatal("repeat was not served from the solve cache")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.BuildMicros.Count != 1 || m.QueueMicros.Count != 1 || m.SolveMicros.Count != 1 {
+		t.Fatalf("phase counts build=%d queue=%d solve=%d, want 1/1/1",
+			m.BuildMicros.Count, m.QueueMicros.Count, m.SolveMicros.Count)
+	}
+	if m.TotalMicros.Count != 2 {
+		t.Fatalf("total count %d, want 2 (cached answers are still answered requests)", m.TotalMicros.Count)
+	}
+	for _, h := range []server.HistogramSnapshot{m.BuildMicros, m.QueueMicros, m.SolveMicros, m.TotalMicros} {
+		last := int64(0)
+		for _, b := range h.Buckets {
+			if b.Count < last {
+				t.Fatalf("buckets not cumulative: %+v", h.Buckets)
+			}
+			last = b.Count
+		}
+		if n := len(h.Buckets); n > 0 && h.Buckets[n-1].Count != h.Count {
+			t.Fatalf("trimmed tail bucket %d does not reach count %d", h.Buckets[n-1].Count, h.Count)
+		}
 	}
 }
 

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"arbods"
 )
@@ -36,8 +39,48 @@ type SolveRequest struct {
 	IncludeDS bool `json:"includeDS,omitempty"`
 	// Stream switches the response to NDJSON: one line per simulated
 	// round ({"round":…,"messages":…,"bits":…,"activeNodes":…}), then a
-	// final {"result":…} line.
+	// final {"result":…} line. Streamed solves bypass the solve cache —
+	// the round progress is the point, and a cached answer has none.
 	Stream bool `json:"stream,omitempty"`
+}
+
+// normalize fills the request's defaulted fields in place, against the
+// resolved graph for the α default. Solve-cache keys are built from the
+// normalized form, so "eps omitted" and "eps: 0.2" are the same request.
+func (req *SolveRequest) normalize(e entryView) {
+	if req.Algorithm == "" {
+		req.Algorithm = "thm1.1"
+	}
+	if req.Alpha == 0 {
+		req.Alpha = e.alpha()
+	}
+	if req.Eps == 0 {
+		req.Eps = 0.2
+	}
+	if req.T == 0 {
+		req.T = 2
+	}
+	if req.K == 0 {
+		req.K = 2
+	}
+	if req.Mode == "" {
+		req.Mode = "congest"
+	}
+}
+
+// key builds the solve-cache key; call after normalize.
+func (req *SolveRequest) key(graphID string) solveKey {
+	return solveKey{
+		graphID:   graphID,
+		algorithm: req.Algorithm,
+		alpha:     req.Alpha,
+		eps:       req.Eps,
+		t:         req.T,
+		k:         req.K,
+		seed:      req.Seed,
+		mode:      req.Mode,
+		maxRounds: req.MaxRounds,
+	}
 }
 
 // SolveResponse is the answer-with-proof envelope.
@@ -45,11 +88,15 @@ type SolveResponse struct {
 	Graph GraphInfo `json:"graph"`
 	// CacheHit reports whether the graph's built CSR was already
 	// resident (the repeat-query fast path).
-	CacheHit bool   `json:"cacheHit"`
-	Seed     uint64 `json:"seed"`
-	DS       []int  `json:"ds,omitempty"`
+	CacheHit bool `json:"cacheHit"`
+	// SolveCached reports whether the whole answer came from the solve
+	// cache — no engine run happened for this response.
+	SolveCached bool   `json:"solveCached,omitempty"`
+	Seed        uint64 `json:"seed"`
+	DS          []int  `json:"ds,omitempty"`
 	// Receipt is the verification record recomputed from the graph and
-	// the run; byte-identical across repeats of the same request.
+	// the run; byte-identical across repeats of the same request,
+	// whether the answer was computed or served from the solve cache.
 	Receipt *arbods.Receipt `json:"receipt"`
 }
 
@@ -70,8 +117,13 @@ var algorithmCatalog = []AlgorithmInfo{
 
 // resolveGraph turns a request's graph reference into a cached entry,
 // building (and caching) it on a miss. The returned bool reports a cache
-// hit — the build was skipped.
-func (s *Server) resolveGraph(ref string) (entryView, bool, int, error) {
+// hit — this request skipped the build, whether because the graph was
+// resident or because a concurrent leader built it (singleflight: N
+// requests racing on the same cold reference run one build). ctx bounds
+// only the waiting; a build in progress always runs to completion so its
+// result lands in the cache. A waiter abandoned by its context returns
+// ctx.Err() with status 0.
+func (s *Server) resolveGraph(ctx context.Context, ref string) (entryView, bool, int, error) {
 	switch {
 	case ref == "":
 		return entryView{}, false, http.StatusBadRequest, fmt.Errorf("missing graph reference")
@@ -83,71 +135,78 @@ func (s *Server) resolveGraph(ref string) (entryView, bool, int, error) {
 		}
 		return e, true, 0, nil
 	case strings.HasPrefix(ref, "corpus:"):
-		if e, ok := s.cache.getName(ref); ok {
-			return e, true, 0, nil
-		}
-		g, err := loadCorpus(s.cfg.CorpusDir, strings.TrimPrefix(ref, "corpus:"))
-		if err != nil {
-			return entryView{}, false, http.StatusNotFound, fmt.Errorf("load %s: %v", ref, err)
-		}
-		built, err := buildEntry(g, ref, 0)
-		if err != nil {
-			return entryView{}, false, http.StatusInternalServerError, err
-		}
-		e, _ := s.cache.insert(built, true)
-		return e, false, 0, nil
+		return s.resolveNamed(ctx, ref, func() (*arbods.Graph, int, int, error) {
+			g, err := loadCorpus(s.cfg.CorpusDir, strings.TrimPrefix(ref, "corpus:"))
+			if err != nil {
+				return nil, 0, http.StatusNotFound, fmt.Errorf("load %s: %v", ref, err)
+			}
+			return g, 0, 0, nil
+		})
 	case strings.HasPrefix(ref, "spec:"):
-		if e, ok := s.cache.getName(ref); ok {
-			return e, true, 0, nil
-		}
-		g, bound, err := buildSpec(strings.TrimPrefix(ref, "spec:"))
-		if err != nil {
-			return entryView{}, false, http.StatusBadRequest, fmt.Errorf("bad spec %q: %v", ref, err)
-		}
-		built, err := buildEntry(g, ref, bound)
-		if err != nil {
-			return entryView{}, false, http.StatusInternalServerError, err
-		}
-		e, _ := s.cache.insert(built, true)
-		return e, false, 0, nil
+		return s.resolveNamed(ctx, ref, func() (*arbods.Graph, int, int, error) {
+			g, bound, err := buildSpec(strings.TrimPrefix(ref, "spec:"))
+			if err != nil {
+				return nil, 0, http.StatusBadRequest, fmt.Errorf("bad spec %q: %v", ref, err)
+			}
+			return g, bound, 0, nil
+		})
 	default:
 		return entryView{}, false, http.StatusBadRequest,
 			fmt.Errorf("graph reference %q must start with sha256:, corpus:, or spec:", ref)
 	}
 }
 
-// runAlgorithm dispatches one solve on the graph with the given options.
+// resolveNamed is the shared by-name path: cache lookup, then a
+// singleflighted load+build on a miss. load produces the graph plus the
+// generator-certified α bound (0 for corpus files, which certify
+// nothing) and an HTTP status for its failures.
+func (s *Server) resolveNamed(ctx context.Context, ref string, load func() (*arbods.Graph, int, int, error)) (entryView, bool, int, error) {
+	if e, ok := s.cache.getName(ref); ok {
+		return e, true, 0, nil
+	}
+	builtHere := false
+	e, status, err, _ := s.flight.do(ctx, ref, func() (entryView, int, error) {
+		// Double-check under flight leadership: a previous leader may have
+		// finished between our miss and our takeover.
+		if e, ok := s.cache.getName(ref); ok {
+			return e, 0, nil
+		}
+		g, bound, status, err := load()
+		if err != nil {
+			return entryView{}, status, err
+		}
+		s.builds.Add(1)
+		builtHere = true
+		built, err := buildEntry(g, ref, bound)
+		if err != nil {
+			return entryView{}, http.StatusInternalServerError, err
+		}
+		e, _ := s.cache.insert(built, true)
+		return e, 0, nil
+	})
+	if err != nil {
+		return entryView{}, false, status, err
+	}
+	return e, !builtHere, 0, nil
+}
+
+// runAlgorithm dispatches one solve on the graph with the given options;
+// the request must be normalized.
 func runAlgorithm(req *SolveRequest, e entryView, opts []arbods.Option) (*arbods.Report, error) {
 	g := e.g
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = e.alpha()
-	}
-	eps := req.Eps
-	if eps == 0 {
-		eps = 0.2
-	}
-	t := req.T
-	if t == 0 {
-		t = 2
-	}
-	k := req.K
-	if k == 0 {
-		k = 2
-	}
 	switch req.Algorithm {
 	case "thm3.1":
-		return arbods.UnweightedDeterministic(g, alpha, eps, opts...)
-	case "", "thm1.1":
-		return arbods.WeightedDeterministic(g, alpha, eps, opts...)
+		return arbods.UnweightedDeterministic(g, req.Alpha, req.Eps, opts...)
+	case "thm1.1":
+		return arbods.WeightedDeterministic(g, req.Alpha, req.Eps, opts...)
 	case "thm1.2":
-		return arbods.WeightedRandomized(g, alpha, t, opts...)
+		return arbods.WeightedRandomized(g, req.Alpha, req.T, opts...)
 	case "thm1.3":
-		return arbods.GeneralGraphs(g, k, opts...)
+		return arbods.GeneralGraphs(g, req.K, opts...)
 	case "remark4.4":
-		return arbods.UnknownDelta(g, alpha, eps, opts...)
+		return arbods.UnknownDelta(g, req.Alpha, req.Eps, opts...)
 	case "remark4.5":
-		return arbods.UnknownAlpha(g, eps, opts...)
+		return arbods.UnknownAlpha(g, req.Eps, opts...)
 	case "tree":
 		return arbods.TreeThreeApprox(g, opts...)
 	case "lw":
@@ -155,7 +214,7 @@ func runAlgorithm(req *SolveRequest, e entryView, opts []arbods.Option) (*arbods
 	case "lrg":
 		return arbods.LRGRandomized(g, opts...)
 	case "kw05":
-		rep, _, err := arbods.KW05(g, k, opts...)
+		rep, _, err := arbods.KW05(g, req.K, opts...)
 		return rep, err
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q (see GET /v1/algorithms)", req.Algorithm)
@@ -175,10 +234,54 @@ func modeOption(mode string) (arbods.Option, error) {
 	}
 }
 
+// solveFail maps a failed solve to its response. Context deaths get
+// distinct treatment: the server's deadline answers 503 with Retry-After
+// (the work was sound, the budget was not — come back), the client's own
+// disconnect answers 499 for the logs, and everything else is the usual
+// 400 with the run error. Streamed responses have already committed a 200
+// header, so they carry the same code on an NDJSON error line instead.
+func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, algo string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		if stream != nil {
+			stream.fail(err, "deadline_exceeded")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		s.errorCode(w, http.StatusServiceUnavailable, "deadline_exceeded", "solve %s: %v", algo, err)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		if stream != nil {
+			stream.fail(err, "canceled")
+			return
+		}
+		s.errorCode(w, StatusClientClosedRequest, "canceled", "solve %s: %v", algo, err)
+	default:
+		if stream != nil {
+			stream.fail(err, "run_failed")
+			return
+		}
+		s.errorCode(w, http.StatusBadRequest, "run_failed", "run %s: %v", algo, err)
+	}
+}
+
 // handleSolve is the request lifecycle of one solve: decode → resolve
-// graph (cache) → admission → Runner checkout → run (recycled, optionally
-// streaming round progress) → detach → receipt → respond.
+// graph (cache + singleflight) → solve-cache lookup → admission → Runner
+// checkout → run under the request context (recycled, optionally
+// streaming round progress) → detach → receipt → cache → respond. Every
+// blocking stage observes ctx — the configured solve deadline plus the
+// client's disconnect — so an abandoned request frees its pool slot
+// within one simulated round.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	ctx := r.Context()
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -191,14 +294,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, hit, status, err := s.resolveGraph(req.Graph)
+	tBuild := time.Now()
+	e, hit, status, err := s.resolveGraph(ctx, req.Graph)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.solveFail(w, nil, req.Algorithm, err)
+			return
+		}
 		s.error(w, status, "%v", err)
 		return
+	}
+	if !hit {
+		s.lat.build.observe(time.Since(tBuild))
+	}
+
+	req.normalize(e)
+	key := req.key(e.id)
+	if !req.Stream {
+		if a, ok := s.scache.get(key); ok {
+			s.solves.Add(1)
+			resp := &SolveResponse{
+				Graph: entryInfo(e), CacheHit: hit, SolveCached: true,
+				Seed: req.Seed, Receipt: a.receipt,
+			}
+			if req.IncludeDS {
+				resp.DS = a.ds
+			}
+			s.lat.total.observe(time.Since(t0))
+			s.logf("solve %s on %s seed=%d: cached answer (size=%d)",
+				req.Algorithm, e.id[:14], req.Seed, a.receipt.SetSize)
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
 	}
 
 	// Admission: bound queued solves so overload answers fast instead of
 	// stacking goroutines behind the RunnerPool.
+	tQueue := time.Now()
 	select {
 	case s.admit <- struct{}{}:
 		defer func() { <-s.admit }()
@@ -208,10 +340,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var stream *streamWriter
-	runner := s.pool.Get()
+	runner, err := s.pool.GetContext(ctx)
+	if err != nil {
+		s.solveFail(w, nil, req.Algorithm, err)
+		return
+	}
 	defer s.pool.Put(runner)
+	s.lat.queue.observe(time.Since(tQueue))
+
+	var stream *streamWriter
 	opts := []arbods.Option{
+		arbods.WithContext(ctx),
 		arbods.WithSeed(req.Seed),
 		arbods.WithRunner(runner),
 		arbods.WithWorkers(s.pool.Workers()),
@@ -228,29 +367,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, arbods.WithRoundObserver(stream.round))
 	}
 
+	tSolve := time.Now()
 	rep, err := runAlgorithm(&req, e, opts)
 	if err != nil {
-		if stream != nil {
-			stream.fail(err)
-			return
-		}
-		s.error(w, http.StatusBadRequest, "run %s: %v", req.Algorithm, err)
+		s.solveFail(w, stream, req.Algorithm, err)
 		return
 	}
+	s.lat.solve.observe(time.Since(tSolve))
 	// Detach before the deferred Put: the recycled Result lives on
 	// Runner-owned memory that the next checkout overwrites.
 	rep = rep.Detach()
 	s.solves.Add(1)
 
+	receipt := arbods.BuildReceipt(e.g, rep)
+	if !req.Stream {
+		// Errors never land here, and the detached receipt/DS are
+		// immutable, so the cached answer is exactly the bytes a rerun
+		// would produce.
+		s.scache.put(key, solveAnswer{receipt: receipt, ds: rep.DS})
+	}
 	resp := &SolveResponse{
 		Graph:    entryInfo(e),
 		CacheHit: hit,
 		Seed:     req.Seed,
-		Receipt:  arbods.BuildReceipt(e.g, rep),
+		Receipt:  receipt,
 	}
 	if req.IncludeDS {
 		resp.DS = rep.DS
 	}
+	s.lat.total.observe(time.Since(t0))
 	s.logf("solve %s on %s n=%d seed=%d: size=%d rounds=%d ok=%v hit=%v",
 		req.Algorithm, e.id[:14], e.g.N(), req.Seed, resp.Receipt.SetSize, resp.Receipt.Rounds, resp.Receipt.OK, hit)
 	if stream != nil {
@@ -304,11 +449,11 @@ func (sw *streamWriter) round(rs arbods.RoundStat) {
 	}
 }
 
-func (sw *streamWriter) fail(err error) {
+// fail emits the terminal NDJSON error line, carrying the same code an
+// unstreamed response would have in its error envelope.
+func (sw *streamWriter) fail(err error, code string) {
 	sw.start()
-	_ = sw.enc.Encode(struct {
-		Error string `json:"error"`
-	}{Error: err.Error()})
+	_ = sw.enc.Encode(errorBody{Error: err.Error(), Code: code})
 }
 
 func (sw *streamWriter) finish(resp *SolveResponse) {

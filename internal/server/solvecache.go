@@ -1,0 +1,106 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"arbods"
+)
+
+// solveKey identifies one solve answer. Every run-shaping request field
+// participates — graph content hash, algorithm, all numeric parameters,
+// seed, mode, round cap — after normalize has filled the defaults in, so
+// "eps omitted" and "eps: 0.2" share an entry. Presentation fields
+// (IncludeDS, Stream) are deliberately absent: the cache stores the full
+// answer and the handler shapes the response.
+type solveKey struct {
+	graphID   string
+	algorithm string
+	alpha     int
+	eps       float64
+	t         int
+	k         int
+	seed      uint64
+	mode      string
+	maxRounds int
+}
+
+// solveAnswer is one cached solve result: the verification receipt and
+// the dominating set, both detached from any Runner. Entries are shared
+// across responses and must be treated as immutable.
+type solveAnswer struct {
+	receipt *arbods.Receipt
+	ds      []int
+}
+
+type solveEntry struct {
+	key    solveKey
+	answer solveAnswer
+	elem   *list.Element
+}
+
+// solveCache is the response-level LRU: solves are deterministic per
+// (graph, algorithm, parameters, seed) — randomized algorithms included,
+// since per-node streams derive from (seed, nodeID) — so a repeated
+// request can skip the engine entirely and return the byte-identical
+// receipt. Keyed by solveKey, bounded by entry count, LRU-evicted.
+type solveCache struct {
+	mu     sync.Mutex
+	cap    int
+	m      map[solveKey]*solveEntry
+	lru    *list.List // front = most recently used; values are *solveEntry
+	hits   int64
+	misses int64
+}
+
+func newSolveCache(capacity int) *solveCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &solveCache{
+		cap: capacity,
+		m:   make(map[solveKey]*solveEntry),
+		lru: list.New(),
+	}
+}
+
+// get returns the cached answer for key, counting a hit or miss.
+func (c *solveCache) get(key solveKey) (solveAnswer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return solveAnswer{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	return e.answer, true
+}
+
+// put stores an answer (first writer wins on a race; the answers are
+// identical by the determinism contract, so it does not matter which).
+func (c *solveCache) put(key solveKey, a solveAnswer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &solveEntry{key: key, answer: a}
+	e.elem = c.lru.PushFront(e)
+	c.m[key] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		ev := back.Value.(*solveEntry)
+		c.lru.Remove(back)
+		delete(c.m, ev.key)
+	}
+}
+
+// counters returns the cumulative hit/miss counts.
+func (c *solveCache) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,6 +1,7 @@
 package arbods_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -142,6 +143,82 @@ func TestOptionSurface(t *testing.T) {
 		t.Fatal("detached report changed under the Runner's next run")
 	}
 	var _ *arbods.Result = det.Result // the root Result alias is the report's type
+}
+
+// countProc is a minimal custom proc driven through the root facade: each
+// node broadcasts once and reports how many neighbors it heard.
+type countProc struct {
+	ni    arbods.NodeInfo
+	heard int64
+}
+
+func (p *countProc) Step(round int, in []arbods.Incoming, s *arbods.Sender) bool {
+	p.heard += int64(len(in))
+	if round == 0 {
+		s.Broadcast(arbods.TagOnly(arbods.Tag(16)))
+		return false
+	}
+	return true
+}
+
+func (p *countProc) Output() int64 { return p.heard }
+
+// TestContextSurface pins the cancellation surface of the facade:
+// Run/RunContext/WithContext for the engine, GetContext/ErrPoolClosed for
+// the pool, and BatchContext/RunBatchContext for batches. A server or
+// client written against package arbods alone can thread deadlines
+// through every layer.
+func TestContextSurface(t *testing.T) {
+	w := arbods.Cycle(12)
+	factory := func(ni arbods.NodeInfo) arbods.Proc[int64] { return &countProc{ni: ni} }
+
+	// The generic Run surface executes custom procs...
+	res, err := arbods.Run(w.G, factory, arbods.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *arbods.RunResult[int64] = res
+	if res.Outputs[0] != 2 {
+		t.Fatalf("cycle node heard %d broadcasts, want 2", res.Outputs[0])
+	}
+	if arbods.BitsUint(255) != 8 || arbods.BitsInt(-1) != 2 || arbods.MaxTags < arbods.MsgTagBits {
+		t.Fatal("bit-accounting helpers malformed")
+	}
+
+	// ...and RunContext / WithContext abort it with ctx.Err().
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := arbods.RunContext(dead, w.G, factory); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v", err)
+	}
+	if _, err := arbods.WeightedDeterministic(w.G, 2, 0.25, arbods.WithContext(dead)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("algorithm wrapper under WithContext err = %v", err)
+	}
+
+	// Pool checkouts are cancellable and fail fast once the pool closes.
+	pool := arbods.NewRunnerPool(1)
+	r, err := pool.GetContext(dead) // free capacity beats a dead context
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(r)
+	if err := pool.BatchContext(dead).Wait(); err != nil {
+		t.Fatalf("empty canceled batch err = %v", err)
+	}
+	pool.Close()
+	if _, err := pool.GetContext(context.Background()); !errors.Is(err, arbods.ErrPoolClosed) {
+		t.Fatalf("closed pool err = %v, want ErrPoolClosed", err)
+	}
+
+	// RunBatchContext checks the context between sequential jobs. (The
+	// parallel path prefers free pool capacity over a dead context, so a
+	// fresh transient pool would still run its jobs — same rule as
+	// GetContext above.)
+	if err := arbods.RunBatchContext(dead, 1,
+		func(r *arbods.Runner, workers int) error { return nil },
+	); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunBatchContext err = %v", err)
+	}
 }
 
 // TestReceiptSurface exercises BuildReceipt: the structured verification
