@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race server-race ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race server-race chaos-race ci
 
 build:
 	$(GO) build ./...
@@ -78,5 +78,20 @@ batch-race:
 server-race:
 	$(GO) test ./internal/server/ ./cmd/arbods-server/ -race -count=1
 	$(GO) test ./internal/congest/ -race -run 'TestDetach|TestRoundObserver|TestRunContext|TestGetContext' -count=1
+
+# Race-mode chaos smoke: the fault-tolerance stack under deterministic
+# injection (internal/faultinject) — proc-panic isolation and Runner
+# replacement, snapshot persistence across restart/corruption/write
+# failure, fairness and admission shedding, drain readiness, the engine's
+# own panic-recovery tests, and the SIGKILL crash-restart test on the
+# real daemon binary. Runs inside `make race` too; this target exists so
+# CI (and humans) can exercise exactly the failure paths next to
+# server-race.
+chaos-race:
+	$(GO) test ./internal/server/ -race -run 'TestSolvePanicIsolation|TestSnapshot|TestHotGraphShed|TestQueueFullShed|TestReadyzDrain' -count=1
+	$(GO) test ./internal/congest/ -race -run 'TestProcPanic|TestPanicIn|TestRunnerPoolReplacesPoisoned|TestFaultInjection' -count=1
+	$(GO) test ./internal/faultinject/ -race -count=1
+	$(GO) test ./internal/graph/ -race -run 'TestBinary' -count=1
+	$(GO) test ./cmd/arbods-server/ -race -run 'TestCrashRestart' -count=1
 
 ci: build vet fmt-check race

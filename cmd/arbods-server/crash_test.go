@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"arbods"
+	"arbods/internal/server"
+)
+
+// daemonProc is one real arbods-server subprocess under test.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon execs the built binary and waits for its "listening on"
+// line to learn the ephemeral port. Stderr keeps draining in the
+// background so request logging can never block the process on a full
+// pipe.
+func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &daemonProc{cmd: cmd, base: "http://" + addr}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon did not report its listen address")
+		return nil
+	}
+}
+
+func (d *daemonProc) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// solveReceipt runs one solve and returns the raw receipt JSON.
+func (d *daemonProc) solveReceipt(t *testing.T, req server.SolveRequest) json.RawMessage {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(d.base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Receipt json.RawMessage `json:"receipt"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Receipt
+}
+
+// TestCrashRestartServesSnapshots is the crash-safety acceptance test on
+// the real binary: upload and solve, SIGKILL the daemon mid-life (no
+// drain, no goodbye), restart it on the same -data-dir, and require that
+// the graph serves from its snapshot — no re-upload, zero builds, and a
+// byte-identical receipt for the same request.
+func TestCrashRestartServesSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "arbods-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	dataDir := filepath.Join(dir, "data")
+
+	// Life 1: upload, solve, then die without warning.
+	d1 := startDaemon(t, bin, "-data-dir", dataDir)
+	var buf bytes.Buffer
+	if err := arbods.EncodeGraph(&buf, arbods.Grid(30, 30).G); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d1.base+"/v1/graphs", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info server.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !info.New {
+		t.Fatalf("upload: status %d, info %+v", resp.StatusCode, info)
+	}
+	if code := d1.get(t, "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz on a serving daemon: %d", code)
+	}
+	solveReq := server.SolveRequest{Graph: info.ID, Algorithm: "thm1.1", Seed: 11}
+	receipt1 := d1.solveReceipt(t, solveReq)
+
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no handlers run
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Life 2: same data dir. The graph must be resident before any client
+	// re-uploads it.
+	d2 := startDaemon(t, bin, "-data-dir", dataDir)
+	defer func() {
+		d2.cmd.Process.Kill()
+		d2.cmd.Wait()
+	}()
+
+	var meta server.GraphInfo
+	if code := d2.get(t, "/v1/graphs/"+info.ID, &meta); code != http.StatusOK {
+		t.Fatalf("restored graph not served: status %d", code)
+	}
+	if meta.Nodes != info.Nodes || meta.Edges != info.Edges || meta.Alpha != info.Alpha {
+		t.Fatalf("restored metadata diverges: upload %+v, restored %+v", info, meta)
+	}
+	var stats server.Stats
+	d2.get(t, "/v1/stats", &stats)
+	if stats.SnapshotsLoaded < 1 {
+		t.Fatalf("snapshotsLoaded = %d, want ≥ 1", stats.SnapshotsLoaded)
+	}
+	if stats.Builds != 0 {
+		t.Fatalf("restored graph cost %d builds, want 0", stats.Builds)
+	}
+
+	receipt2 := d2.solveReceipt(t, solveReq)
+	if !bytes.Equal(receipt1, receipt2) {
+		t.Fatalf("receipt across crash-restart diverges:\n%s\n%s", receipt1, receipt2)
+	}
+
+	// Life 2 ends politely: SIGTERM must drain and exit 0.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- d2.cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("SIGTERM shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+
+	// The snapshot survives the graceful exit too.
+	if _, err := os.Stat(filepath.Join(dataDir, "index.json")); err != nil {
+		t.Fatalf("index.json missing after shutdown: %v", err)
+	}
+	blob := strings.TrimPrefix(info.ID, "sha256:") + ".csr"
+	if _, err := os.Stat(filepath.Join(dataDir, "graphs", blob)); err != nil {
+		t.Fatalf("snapshot blob missing: %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 //	GET  /v1/stats       cache, pool, and outcome counters
 //	GET  /v1/metrics     solve-path latency histograms
 //	GET  /healthz        liveness plus stats
+//	GET  /readyz         readiness: 503 once a drain begins
 //
 // Solves run under a context: -solve-timeout bounds each request (a run
 // past the deadline aborts at its next round barrier and answers 503
@@ -21,8 +22,16 @@
 // same way. Identical requests are answered from a response cache
 // (-max-solves entries) keyed by graph, algorithm, parameters, and seed.
 //
-// SIGINT/SIGTERM drain in-flight requests before the RunnerPool is
-// released.
+// With -data-dir, every uploaded or name-built graph is snapshotted as a
+// checksummed binary CSR blob and restored on the next start, so a
+// restarted (or crashed and restarted) daemon serves the same sha256:
+// references without re-uploads; corrupt snapshots are detected, logged,
+// and rebuilt from source. -per-graph caps one graph's share of the pool
+// (fairness 429s), and a panicking solve answers 500 while everything
+// else keeps serving.
+//
+// SIGINT/SIGTERM first flip /readyz to 503, then drain in-flight requests
+// under -drain-timeout before the RunnerPool is released.
 package main
 
 import (
@@ -56,13 +65,15 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
 		corpus    = fs.String("corpus", "", "directory served by corpus:<name> graph references")
+		dataDir   = fs.String("data-dir", "", "snapshot directory: graphs persist across restarts as checksummed binary CSRs (\"\" = in-memory only)")
 		pool      = fs.Int("pool", 0, "RunnerPool size = concurrent solves (0 = GOMAXPROCS)")
 		inflight  = fs.Int("inflight", 0, "max admitted solves before 429 (0 = 4×pool)")
+		perGraph  = fs.Int("per-graph", 0, "max solves in flight per graph before a fairness 429 (0 = no per-graph cap)")
 		maxUpload = fs.Int64("max-upload", 0, "max graph upload bytes (0 = 64 MiB)")
 		maxGraphs = fs.Int("max-graphs", 0, "max cached built graphs, LRU-evicted (0 = 64)")
 		maxSolves = fs.Int("max-solves", 0, "max cached solve answers, LRU-evicted (0 = 256)")
 		solveTO   = fs.Duration("solve-timeout", 0, "per-solve deadline; past it the run aborts and answers 503 (0 = none)")
-		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		drain     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown timeout: in-flight requests get this long to finish after SIGTERM")
 		quiet     = fs.Bool("quiet", false, "suppress per-request log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,16 +84,21 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	if *quiet {
 		logf = nil
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CorpusDir:       *corpus,
+		DataDir:         *dataDir,
 		PoolSize:        *pool,
 		MaxInflight:     *inflight,
+		MaxPerGraph:     *perGraph,
 		MaxUploadBytes:  *maxUpload,
 		MaxCachedGraphs: *maxGraphs,
 		MaxCachedSolves: *maxSolves,
 		SolveTimeout:    *solveTO,
 		Logf:            logf,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -115,8 +131,11 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	case <-stop:
 	}
 
-	// Drain in-flight requests, then release the RunnerPool: Close must
+	// Drain: flip /readyz to 503 first so the load balancer stops sending
+	// traffic, then let http.Server.Shutdown wait out in-flight requests
+	// under the drain timeout, then release the RunnerPool — Close must
 	// run only after every handler has put its Runner back.
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = hs.Shutdown(ctx)

@@ -143,4 +143,32 @@
 // phases. BuildReceipt is the same verification the CLI's -receipt flag
 // and the benchmark harness use; Certify is its error-only form. See the
 // README "Serving" section and examples/server for the client round trip.
+//
+// # Fault tolerance
+//
+// A panicking Proc callback cannot take a serving process down. The
+// engine recovers panics on its own goroutines — step, route, factory,
+// and output phases alike — and returns a *ProcPanicError carrying the
+// round, the node, the panic value, and the stack; errors.Is(err,
+// ErrProcPanic) detects the class. Which panic wins is deterministic
+// (the lowest panicking node of the earliest phase), so a panicking run
+// fails identically at every worker count. A Runner that hosted a panic
+// is poisoned (Runner.Poisoned) and will not run again; RunnerPool.Put
+// quarantines poisoned Runners and checks in a fresh replacement —
+// RunnerPool.Replaced counts them — so one faulty callback costs one
+// request, never the pool.
+//
+// Graphs survive process death: EncodeGraphBinary / DecodeGraphBinary
+// implement the checksummed binary CSR snapshot format ("ARBCSR01",
+// little-endian, CRC-32C trailer) the server's -data-dir persistence is
+// built on. The decoder re-validates structure — sortedness, symmetry,
+// weight ranges — so a torn or tampered snapshot fails loudly instead of
+// serving wrong answers.
+//
+// WithFaultInjection threads a deterministic failure registry
+// (internal/faultinject) into a run for chaos testing: seeded, named
+// failpoints fire a panic, an error, or a delay at an exact round, so
+// the failure paths above are pinned by ordinary reproducible tests
+// (`make chaos-race`) rather than by races. A nil registry is the
+// production state and costs one comparison per seam.
 package arbods

@@ -19,7 +19,10 @@ import (
 
 func main() {
 	// The handler behind cmd/arbods-server, embeddable in any http.Server.
-	srv := server.New(server.Config{PoolSize: 2})
+	srv, err := server.New(server.Config{PoolSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()

@@ -34,6 +34,16 @@ func EncodeGraph(w io.Writer, g *Graph) error { return graph.Encode(w, g) }
 // DecodeGraph reads a graph in the arbods text format.
 func DecodeGraph(r io.Reader) (*Graph, error) { return graph.Decode(r) }
 
+// EncodeGraphBinary writes g in the arbods binary CSR format — the
+// checksummed on-disk representation arbods-server snapshots use. Decoding
+// is array fills instead of text parsing, so large corpora load in
+// milliseconds.
+func EncodeGraphBinary(w io.Writer, g *Graph) error { return graph.EncodeBinary(w, g) }
+
+// DecodeGraphBinary reads a graph in the arbods binary CSR format,
+// verifying the checksum and re-validating every structural invariant.
+func DecodeGraphBinary(r io.Reader) (*Graph, error) { return graph.DecodeBinary(r) }
+
 // Generators. Each returns a Workload whose ArboricityBound field records
 // the α the construction guarantees; see the paper's §1.1 for why these
 // families matter (planar graphs, bounded treewidth, social networks, …).

@@ -82,6 +82,7 @@ import (
 	"runtime"
 	"sort"
 
+	"arbods/internal/faultinject"
 	"arbods/internal/graph"
 	"arbods/internal/rng"
 )
@@ -180,10 +181,11 @@ type config struct {
 	arboricity int  // expose α in NodeInfo when > 0
 	roundStats bool
 	msgStats   bool
-	roundObs   func(RoundStat) // per-round progress hook (nil = none)
-	runner     *Runner         // nil = transient per-run state
-	recycle    bool            // Result.Outputs/MessageStats on runner-owned memory
-	ctx        context.Context // run cancellation; nil = never canceled
+	roundObs   func(RoundStat)       // per-round progress hook (nil = none)
+	runner     *Runner               // nil = transient per-run state
+	recycle    bool                  // Result.Outputs/MessageStats on runner-owned memory
+	ctx        context.Context       // run cancellation; nil = never canceled
+	faults     *faultinject.Registry // nil = no fault injection (production)
 }
 
 // Option configures a run.
@@ -245,6 +247,16 @@ func WithMessageStats() Option { return optionFunc(func(c *config) { c.msgStats 
 // outcome. A nil ctx means "never canceled".
 func WithContext(ctx context.Context) Option {
 	return optionFunc(func(c *config) { c.ctx = ctx })
+}
+
+// WithFaultInjection threads a faultinject.Registry into the run: the
+// engine fires the "congest.step" failpoint once per round (on shard 0,
+// which executes on a worker goroutine when the run is parallel), so
+// chaos tests inject panics at a chosen round, slow rounds down, or fail
+// them with an error — deterministically, with no build tags. A nil
+// registry is the production state and costs one nil check per round.
+func WithFaultInjection(reg *faultinject.Registry) Option {
+	return optionFunc(func(c *config) { c.faults = reg })
 }
 
 // WithRoundObserver calls fn once per completed round with that round's
@@ -469,10 +481,22 @@ func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O],
 	}
 	e, err := newEngine(r, g, factory, cfg)
 	if err != nil {
+		// newEngine fails two ways with opposite ownership: a recovered
+		// factory panic happens after bind took the Runner (poison and
+		// release it), while a bind refusal means someone else is mid-run
+		// on it — touching it here would release a run we don't own.
+		if _, ok := err.(*ProcPanicError); ok {
+			r.noteRunError(err)
+			r.release(transient)
+		} else if transient {
+			r.Close() // never mid-run when fresh, but don't leak the pool
+		}
 		return nil, err
 	}
 	defer r.release(transient)
-	return e.run()
+	res, err := e.run()
+	r.noteRunError(err)
+	return res, err
 }
 
 // RunContext is Run with a cancellation context: the engine checks ctx at

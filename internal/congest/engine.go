@@ -76,22 +76,38 @@ func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config)
 		e.procs = make([]Proc[O], n)
 		r.procSlab = e.procs
 	}
-	for v := 0; v < n; v++ {
-		ni := NodeInfo{
-			ID:        v,
-			Neighbors: g.Neighbors(v),
-			Weight:    g.Weight(v),
-			N:         n,
-			Rand:      rng.Init(cfg.seed, v),
-			Arena:     &r.arena,
+	// The factory is user code running before round 0 on the coordinating
+	// goroutine; a panic there is recovered like a mid-run Step panic
+	// (Round = -1) so a faulty constructor fails this run, not the process.
+	var perr *ProcPanicError
+	func() {
+		cur := -1
+		defer func() {
+			if v := recover(); v != nil {
+				perr = newProcPanic(-1, cur, v)
+			}
+		}()
+		for v := 0; v < n; v++ {
+			cur = v
+			ni := NodeInfo{
+				ID:        v,
+				Neighbors: g.Neighbors(v),
+				Weight:    g.Weight(v),
+				N:         n,
+				Rand:      rng.Init(cfg.seed, v),
+				Arena:     &r.arena,
+			}
+			if cfg.maxDegree {
+				ni.MaxDegree = g.MaxDegree()
+			}
+			if cfg.arboricity > 0 {
+				ni.Arboricity = cfg.arboricity
+			}
+			e.procs[v] = factory(ni)
 		}
-		if cfg.maxDegree {
-			ni.MaxDegree = g.MaxDegree()
-		}
-		if cfg.arboricity > 0 {
-			ni.Arboricity = cfg.arboricity
-		}
-		e.procs[v] = factory(ni)
+	}()
+	if perr != nil {
+		return nil, perr
 	}
 
 	e.res = &Result[O]{Bandwidth: e.budget}
@@ -135,6 +151,21 @@ func (e *engine[O]) run() (*Result[O], error) {
 
 		e.dispatch(e.stepTask)
 		activeCount = 0
+		var pan *ProcPanicError
+		for w := range e.steps {
+			s := &e.steps[w]
+			// Panics take precedence over Sender errors, lowest node first:
+			// shards keep stepping past a Sender error but stop at a panic,
+			// so only this ordering is invariant across worker layouts (see
+			// stepShard.pan).
+			if s.pan != nil && (pan == nil || s.pan.Node < pan.Node) {
+				pan = s.pan
+			}
+			activeCount += s.active
+		}
+		if pan != nil {
+			return nil, pan
+		}
 		for w := range e.steps {
 			s := &e.steps[w]
 			if s.err != nil {
@@ -142,12 +173,16 @@ func (e *engine[O]) run() (*Result[O], error) {
 				// lowest-ID error, so the first one wins deterministically.
 				return nil, s.err
 			}
-			activeCount += s.active
 		}
 
 		e.dispatch(e.routeTask)
 		var roundMsgs, roundBits, inflight int64
 		var rerr *BandwidthError
+		for w := range e.routes {
+			if s := &e.routes[w]; s.pan != nil {
+				return nil, s.pan // engine-internal panic while routing; shards checked in order
+			}
+		}
 		for w := range e.routes {
 			s := &e.routes[w]
 			roundMsgs += s.msgs
@@ -186,11 +221,13 @@ func (e *engine[O]) run() (*Result[O], error) {
 			break
 		}
 	}
-	return e.finish(), nil
+	return e.finish()
 }
 
-// finish merges the per-run shard accumulators and collects outputs.
-func (e *engine[O]) finish() *Result[O] {
+// finish merges the per-run shard accumulators and collects outputs. The
+// Output calls are user code, recovered on the same contract as Step
+// panics (Round = -1: the round loop is over).
+func (e *engine[O]) finish() (*Result[O], error) {
 	res := e.res
 	for w := range e.routes {
 		s := &e.routes[w]
@@ -237,8 +274,21 @@ func (e *engine[O]) finish() *Result[O] {
 			e.Runner.outSlabO = res.Outputs
 		}
 	}
-	for v := range e.procs {
-		res.Outputs[v] = e.procs[v].Output()
+	var perr *ProcPanicError
+	func() {
+		cur := -1
+		defer func() {
+			if v := recover(); v != nil {
+				perr = newProcPanic(-1, cur, v)
+			}
+		}()
+		for v := range e.procs {
+			cur = v
+			res.Outputs[v] = e.procs[v].Output()
+		}
+	}()
+	if perr != nil {
+		return nil, perr
 	}
-	return res
+	return res, nil
 }

@@ -1,0 +1,47 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrProcPanic is the sentinel every recovered proc panic wraps: callers
+// match the class with errors.Is(err, ErrProcPanic) and reach the round,
+// node, and captured stack through errors.As with *ProcPanicError.
+var ErrProcPanic = errors.New("congest: proc panicked")
+
+// ProcPanicError reports a panic recovered from user proc code — a
+// Factory constructing a node, a Proc.Step call, or a Proc.Output call —
+// converted into an ordinary run error so one faulty callback fails one
+// run instead of the whole process. The engine's worker goroutines and
+// its coordinating goroutine both recover: a panic on any of them
+// surfaces here, deterministically (the lowest panicking node wins when
+// shards race), and the Runner that hosted the run is marked poisoned
+// (see Runner.Poisoned and RunnerPool.Put for the quarantine contract).
+type ProcPanicError struct {
+	// Round is the round the panic interrupted; -1 when it happened
+	// outside the round loop (Factory construction before round 0, or
+	// Output collection after the last round).
+	Round int
+	// Node is the node whose callback panicked; -1 when the panic did not
+	// come from a per-node callback (an injected engine fault).
+	Node int
+	// Value is the value the callback panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover time.
+	Stack []byte
+}
+
+func (e *ProcPanicError) Error() string {
+	return fmt.Sprintf("congest: proc panicked at round %d on node %d: %v", e.Round, e.Node, e.Value)
+}
+
+// Unwrap ties the typed error to the ErrProcPanic sentinel.
+func (e *ProcPanicError) Unwrap() error { return ErrProcPanic }
+
+// newProcPanic wraps a recovered panic value (recover must be called by
+// the deferred function itself; this builds the error it records).
+func newProcPanic(round, node int, v any) *ProcPanicError {
+	return &ProcPanicError{Round: round, Node: node, Value: v, Stack: debug.Stack()}
+}

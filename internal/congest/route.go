@@ -35,6 +35,7 @@ type routeShard struct {
 	// per-round results, reset by routeRange
 	msgs, bits, inflight int64
 	err                  *BandwidthError // strict mode: (min sender, then min receiver)
+	pan                  *ProcPanicError // panic recovered while routing (engine fault, not user code)
 
 	// per-run accumulators, merged by finish
 	dropped     int64
@@ -56,7 +57,16 @@ type routeShard struct {
 func (e *engine[O]) routeRange(w int) {
 	s := &e.routes[w]
 	lo, hi := s.lo, s.hi
-	s.msgs, s.bits, s.inflight, s.err = 0, 0, 0, nil
+	s.msgs, s.bits, s.inflight, s.err, s.pan = 0, 0, 0, nil, nil
+	// Routing executes no user code, so a panic here is an engine bug (or
+	// an injected fault) — still recovered, on the same contract as the
+	// step phase: the run fails with ErrProcPanic, the process survives,
+	// and the Runner is quarantined.
+	defer func() {
+		if v := recover(); v != nil {
+			s.pan = newProcPanic(e.round, -1, v)
+		}
+	}()
 	cnt := s.cnt
 	clear(cnt)
 

@@ -50,12 +50,36 @@ type Runner struct {
 	outSlabO any
 	msgStats map[string]MessageStat
 
-	running bool
+	running  bool
+	poisoned bool
 }
 
 // NewRunner returns an empty Runner; all state is built lazily by the first
 // run and reused afterwards.
 func NewRunner() *Runner { return &Runner{} }
+
+// Poisoned reports whether a run on this Runner ended in a recovered proc
+// panic (ErrProcPanic). A panicking callback may have been interrupted at
+// an arbitrary point — mid-arena-carve, mid-slab-write — so although the
+// next bind resets every piece of per-run state the engine owns, the
+// Runner is conservatively quarantined: RunnerPool.Put discards poisoned
+// Runners and checks a replacement in instead. The flag is sticky; a
+// caller that understands the risk may keep using the Runner directly
+// (transcripts remain correct — bind rebuilds all run state), but pooled
+// serving paths should let the pool swap it out.
+func (r *Runner) Poisoned() bool { return r.poisoned }
+
+// noteRunError marks the Runner poisoned when err is a recovered proc
+// panic. Cheap type assertion instead of errors.As: the engine returns
+// *ProcPanicError un-wrapped.
+func (r *Runner) noteRunError(err error) {
+	if err == nil {
+		return
+	}
+	if _, ok := err.(*ProcPanicError); ok {
+		r.poisoned = true
+	}
+}
 
 // Close releases the worker pool. The Runner must be idle; it may be used
 // again afterwards (a fresh pool is built on demand).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrPoolClosed is returned by GetContext (and reported by Batch slots)
@@ -39,6 +40,7 @@ type RunnerPool struct {
 	closeOnce sync.Once
 	size      int
 	workers   int
+	replaced  atomic.Int64 // poisoned Runners discarded by Put
 }
 
 // NewRunnerPool builds a pool of `size` Runners (size ≤ 0 selects
@@ -114,8 +116,25 @@ func (p *RunnerPool) Get() *Runner {
 
 // Put checks a Runner back in. The Runner keeps its warmed buffers; a
 // failed or aborted run needs no special handling (the next bind resets
-// all per-run state, which TestBatchAbortedJob pins down).
-func (p *RunnerPool) Put(r *Runner) { p.free <- r }
+// all per-run state, which TestBatchAbortedJob pins down) — with one
+// exception: a Runner poisoned by a recovered proc panic (ErrProcPanic)
+// is not returned to circulation. Put closes it and checks in a fresh
+// replacement instead, so the pool's capacity is preserved and the next
+// checkout warms clean state on its first bind; Replaced counts the
+// swaps. One panicking callback therefore costs its own run plus one
+// Runner re-warm — never a pool slot and never the process.
+func (p *RunnerPool) Put(r *Runner) {
+	if r.Poisoned() {
+		r.Close()
+		p.replaced.Add(1)
+		r = NewRunner()
+	}
+	p.free <- r
+}
+
+// Replaced reports how many poisoned Runners Put has discarded and
+// replaced over the pool's lifetime.
+func (p *RunnerPool) Replaced() int64 { return p.replaced.Load() }
 
 // Close waits for every Runner to be checked back in, releases their
 // worker pools, and then fails all pending and future checkouts

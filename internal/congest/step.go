@@ -5,17 +5,53 @@ type stepShard struct {
 	lo, hi int
 	active int   // nodes in range still running after this round
 	err    error // first Sender error in range (lowest node ID)
+
+	// cur is the node whose Step is currently executing — a plain store
+	// per node, read only by the panic recovery path so a recovered panic
+	// knows which node's callback blew up.
+	cur int
+	// pan is the panic recovered from this shard's range this round, if
+	// any. The engine converts the lowest-node pan across shards into the
+	// run's *ProcPanicError at the barrier; panics take precedence over
+	// Sender errors so the reported failure is worker-count invariant
+	// (shards keep stepping past a Sender error but stop at a panic, so
+	// the Sender-error set can differ across layouts — the panic set of
+	// the surviving minimum cannot).
+	pan *ProcPanicError
 }
 
 // stepRange steps every node in shard w's range. Each node touches only
 // its own proc, inbox and sender, so shards are race-free.
+//
+// A panic in a Proc.Step call (or in an injected engine fault) is
+// recovered here — on the worker goroutine that runs the shard — and
+// parked in the shard for the engine's barrier to convert into a run
+// error, so one faulty proc fails one run instead of the process.
 func (e *engine[O]) stepRange(w int) {
 	s := &e.steps[w]
 	s.active = 0
 	// Reset the error like routeRange resets its own: a Sender error from
 	// an aborted previous run must not poison a reused Runner.
 	s.err = nil
+	s.pan = nil
+	s.cur = -1
+	defer func() {
+		if v := recover(); v != nil {
+			s.pan = newProcPanic(e.round, s.cur, v)
+		}
+	}()
 	round := e.round
+	if e.cfg.faults != nil && w == 0 {
+		// The engine-side injection seam: a chaos test arms "congest.step"
+		// to panic (exercising exactly this recover, on a pool goroutine
+		// when parallel), to sleep (a slow round), or to fail the round
+		// with an error. Fired once per round, on shard 0 only, so Times
+		// accounting is layout-independent.
+		if err := e.cfg.faults.FireRound("congest.step", round); err != nil {
+			s.err = err
+			return
+		}
+	}
 	for v := s.lo; v < s.hi; v++ {
 		snd := &e.senders[v]
 		// Truncate the outbox even for terminated nodes: a node's final
@@ -25,6 +61,7 @@ func (e *engine[O]) stepRange(w int) {
 		if e.done[v] {
 			continue
 		}
+		s.cur = v
 		if e.procs[v].Step(round, e.inbox[v], snd) {
 			e.done[v] = true
 		} else {

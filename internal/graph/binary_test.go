@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildRandom builds a deterministic random graph with the Builder, with
+// explicit weights when weighted is set.
+func buildRandom(t *testing.T, n int, p float64, weighted bool, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	if weighted {
+		for v := 0; v < n; v++ {
+			b.SetWeight(v, 1+rng.Int63n(1000))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func encodeBinary(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixCRC rewrites the trailer so a deliberately mutated blob passes the
+// checksum and exercises the structural validation instead.
+func fixCRC(data []byte) {
+	sum := crc32.Checksum(data[:len(data)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":      NewBuilder(0).MustBuild(),
+		"singleton":  NewBuilder(1).MustBuild(),
+		"edgeless":   NewBuilder(5).MustBuild(),
+		"path":       NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).MustBuild(),
+		"unweighted": buildRandom(t, 200, 0.05, false, 1),
+		"weighted":   buildRandom(t, 200, 0.05, true, 2),
+	}
+	for name, g := range graphs {
+		data := encodeBinary(t, g)
+		got, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(g, got) {
+			t.Fatalf("%s: round trip diverges\nwant %+v\n got %+v", name, g, got)
+		}
+		// The encoding must be deterministic: snapshots are content-compared
+		// across daemon restarts.
+		if again := encodeBinary(t, g); !bytes.Equal(data, again) {
+			t.Fatalf("%s: encoding is not deterministic", name)
+		}
+	}
+}
+
+// TestBinaryMatchesTextCodec: the binary round trip must reconstruct the
+// same graph the text codec does — same transcript substrate either way.
+func TestBinaryMatchesTextCodec(t *testing.T) {
+	g := buildRandom(t, 150, 0.04, true, 3)
+	var text, bin bytes.Buffer
+	if err := Encode(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := Decode(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromText, fromBin) {
+		t.Fatal("text and binary codecs reconstruct different graphs")
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	data := encodeBinary(t, buildRandom(t, 60, 0.1, true, 4))
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := DecodeBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", cut, len(data))
+		}
+	}
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	orig := encodeBinary(t, buildRandom(t, 60, 0.1, true, 5))
+	for pos := 0; pos < len(orig)-4; pos += 11 {
+		data := append([]byte(nil), orig...)
+		data[pos] ^= 0x40
+		if _, err := DecodeBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", pos)
+		}
+	}
+}
+
+// TestBinaryForgery: blobs with a valid checksum but broken structure must
+// be rejected by the structural validation.
+func TestBinaryForgery(t *testing.T) {
+	g := NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(0, 3).MustBuild()
+	base := encodeBinary(t, g)
+	adjStart := binaryHeader + 4*g.N() // first adj entry (node 0's list: 1, 3)
+
+	mutate := func(name string, f func(data []byte)) {
+		data := append([]byte(nil), base...)
+		f(data)
+		fixCRC(data)
+		if _, err := DecodeBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: forged blob decoded successfully", name)
+		}
+	}
+	mutate("asymmetric edge", func(data []byte) {
+		// Node 0's first neighbor 1 → 2, but node 2's list has no 0.
+		binary.LittleEndian.PutUint32(data[adjStart:], 2)
+	})
+	mutate("self-loop", func(data []byte) {
+		binary.LittleEndian.PutUint32(data[adjStart:], 0)
+	})
+	mutate("unsorted list", func(data []byte) {
+		// Node 0's list (1, 3) → (3, 1).
+		binary.LittleEndian.PutUint32(data[adjStart:], 3)
+		binary.LittleEndian.PutUint32(data[adjStart+4:], 1)
+	})
+	mutate("out-of-range neighbor", func(data []byte) {
+		binary.LittleEndian.PutUint32(data[adjStart:], 99)
+	})
+	mutate("non-monotone offsets", func(data []byte) {
+		binary.LittleEndian.PutUint32(data[binaryHeader:], 7) // offsets[1] > e
+	})
+	mutate("bad magic", func(data []byte) {
+		data[0] = 'X'
+	})
+
+	// Zero weight with a valid checksum (weighted encoding required).
+	wg := NewBuilder(2).AddEdge(0, 1).SetWeight(0, 5).MustBuild()
+	wdata := encodeBinary(t, wg)
+	wpos := len(wdata) - 4 - 16 // two int64 weights before the trailer
+	binary.LittleEndian.PutUint64(wdata[wpos:], 0)
+	fixCRC(wdata)
+	if _, err := DecodeBinary(bytes.NewReader(wdata)); err == nil {
+		t.Fatal("zero weight decoded successfully")
+	}
+}

@@ -18,7 +18,10 @@ import (
 // bypass the solve cache, forcing a real engine run) must return the
 // byte-identical receipt a pre-starvation run produced.
 func TestClientDisconnectWhileQueued(t *testing.T) {
-	s := New(Config{PoolSize: 1})
+	s, err := New(Config{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer func() {
 		ts.Close()

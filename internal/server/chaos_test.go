@@ -1,0 +1,393 @@
+package server_test
+
+// Chaos suite: deterministic fault injection (internal/faultinject)
+// driven through Config.Faults. Every failure here is armed, not raced —
+// a panic at an exact round, a snapshot write that fails on the exact
+// upload, an admission that overflows on the exact request — so the
+// suite pins the server's degraded behavior as precisely as the happy
+// path's golden receipt pins its answers.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arbods"
+	"arbods/internal/faultinject"
+	"arbods/internal/server"
+)
+
+// uploadGraph posts g in the text format and returns the cached entry.
+func uploadGraph(t *testing.T, base string, g *arbods.Graph) server.GraphInfo {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/graphs", "text/plain", bytes.NewReader(encodeGraph(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info server.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	return info
+}
+
+// getJSON fetches url, decodes into out when non-nil, and returns the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// captureLog returns a Logf sink plus a reader over everything logged.
+func captureLog() (func(string, ...any), func() string) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Fprintf(&buf, format+"\n", args...)
+		mu.Unlock()
+	}
+	read := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
+	return logf, read
+}
+
+// errBody decodes the uniform error envelope.
+func errBody(t *testing.T, body []byte) (msg, code string) {
+	t.Helper()
+	var eb struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error envelope: %v\n%s", err, body)
+	}
+	return eb.Error, eb.Code
+}
+
+// TestSolvePanicIsolation arms a proc panic at round 2 and requires the
+// blast radius to be exactly one request: 500 with code proc_panic and a
+// structured log record, the poisoned Runner replaced at checkin, and the
+// very next identical request answered with the byte-identical receipt a
+// fault-free server produces.
+func TestSolvePanicIsolation(t *testing.T) {
+	reg := faultinject.New(1)
+	reg.Arm("congest.step", faultinject.Fault{Round: 2, Panic: "chaos: injected proc panic"})
+	logf, logs := captureLog()
+	_, ts := newTestServer(t, server.Config{PoolSize: 1, Faults: reg, Logf: logf})
+
+	req := server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 7}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve: status %d: %s", resp.StatusCode, body)
+	}
+	msg, code := errBody(t, body)
+	if code != "proc_panic" || !strings.Contains(msg, "round 2") {
+		t.Fatalf("panicking solve: code %q, msg %q", code, msg)
+	}
+	if reg.Hits("congest.step") == 0 {
+		t.Fatal("congest.step seam never reached")
+	}
+
+	// The Runner swap happens in the handler's deferred Put, which may
+	// still be running when the client has its response — poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for serverStats(t, ts.URL).RunnersReplaced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("poisoned Runner never replaced")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := serverStats(t, ts.URL)
+	if st.Panics != 1 || st.RunnersReplaced != 1 || st.Solves != 0 {
+		t.Fatalf("stats after panic: panics=%d replaced=%d solves=%d", st.Panics, st.RunnersReplaced, st.Solves)
+	}
+	rec := logs()
+	if !strings.Contains(rec, "event=proc_panic") || !strings.Contains(rec, "round=2") ||
+		!strings.Contains(rec, "stack=") {
+		t.Fatalf("missing structured panic record in:\n%s", rec)
+	}
+
+	// Recovery: the fault is spent, the replacement Runner serves, and the
+	// answer matches a server that never saw a panic, byte for byte.
+	_, ref := newTestServer(t, server.Config{PoolSize: 1})
+	_, want, _ := solveRaw(t, ref.URL, req)
+	_, got, _ := solveRaw(t, ts.URL, req)
+	if !bytes.Equal(want.Receipt, got.Receipt) {
+		t.Fatalf("post-panic receipt diverges from fault-free receipt:\n%s\nvs\n%s", got.Receipt, want.Receipt)
+	}
+}
+
+// TestSnapshotPersistRestart is the in-process half of the crash-safety
+// story (cmd/arbods-server's crash test covers the SIGKILL half): a second
+// server on the same DataDir serves the first server's upload from its
+// snapshot — no re-upload, no builds, byte-identical receipt.
+func TestSnapshotPersistRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := arbods.Grid(12, 12).G
+	_, ts1 := newTestServer(t, server.Config{DataDir: dir})
+	info := uploadGraph(t, ts1.URL, g)
+	if !info.New {
+		t.Fatalf("first upload not new: %+v", info)
+	}
+	req := server.SolveRequest{Graph: info.ID, Algorithm: "thm1.1", Seed: 11}
+	_, out1, _ := solveRaw(t, ts1.URL, req)
+
+	_, ts2 := newTestServer(t, server.Config{DataDir: dir})
+	var meta server.GraphInfo
+	if code := getJSON(t, ts2.URL+"/v1/graphs/"+info.ID, &meta); code != http.StatusOK {
+		t.Fatalf("restored graph not served: status %d", code)
+	}
+	if meta.Nodes != info.Nodes || meta.Edges != info.Edges || meta.Alpha != info.Alpha {
+		t.Fatalf("restored metadata diverges: %+v vs %+v", meta, info)
+	}
+	st := serverStats(t, ts2.URL)
+	if st.SnapshotsLoaded != 1 || st.Builds != 0 || st.Graphs != 1 {
+		t.Fatalf("restore stats: loaded=%d builds=%d graphs=%d", st.SnapshotsLoaded, st.Builds, st.Graphs)
+	}
+	_, out2, _ := solveRaw(t, ts2.URL, req)
+	if !bytes.Equal(out1.Receipt, out2.Receipt) {
+		t.Fatalf("receipt across restart diverges:\n%s\nvs\n%s", out1.Receipt, out2.Receipt)
+	}
+}
+
+// TestSnapshotCorruptRecovery flips one byte in a snapshot blob between
+// two server lifetimes. The restarted server must detect it (checksum),
+// log it, drop it, refuse to serve the id — and heal completely when the
+// graph is uploaded again.
+func TestSnapshotCorruptRecovery(t *testing.T) {
+	dir := t.TempDir()
+	g := arbods.Grid(9, 9).G
+	_, ts1 := newTestServer(t, server.Config{DataDir: dir})
+	info := uploadGraph(t, ts1.URL, g)
+
+	blob := filepath.Join(dir, "graphs", strings.TrimPrefix(info.ID, "sha256:")+".csr")
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	logf, logs := captureLog()
+	_, ts2 := newTestServer(t, server.Config{DataDir: dir, Logf: logf})
+	st := serverStats(t, ts2.URL)
+	if st.SnapshotErrors < 1 || st.SnapshotsLoaded != 0 || st.Graphs != 0 {
+		t.Fatalf("corrupt restore stats: errors=%d loaded=%d graphs=%d", st.SnapshotErrors, st.SnapshotsLoaded, st.Graphs)
+	}
+	if !strings.Contains(logs(), "event=snapshot_corrupt") {
+		t.Fatalf("missing snapshot_corrupt record in:\n%s", logs())
+	}
+	if code := getJSON(t, ts2.URL+"/v1/graphs/"+info.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("corrupt graph served: status %d", code)
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob not removed: %v", err)
+	}
+
+	// Re-upload rebuilds both the cache entry and the snapshot.
+	re := uploadGraph(t, ts2.URL, g)
+	if !re.New || re.ID != info.ID {
+		t.Fatalf("re-upload after corruption: %+v", re)
+	}
+	if _, err := os.Stat(blob); err != nil {
+		t.Fatalf("snapshot not rewritten: %v", err)
+	}
+}
+
+// TestSnapshotWriteFailure arms a blob-write failure: the upload must
+// still answer 200 (persistence is a durability upgrade, never a serving
+// dependency), the failure must be counted, and a restart must honestly
+// not have the graph.
+func TestSnapshotWriteFailure(t *testing.T) {
+	reg := faultinject.New(3)
+	reg.Arm("persist.writeBlob", faultinject.Fault{Round: -1, Err: faultinject.ErrInjected})
+	dir := t.TempDir()
+	logf, logs := captureLog()
+	_, ts1 := newTestServer(t, server.Config{DataDir: dir, Faults: reg, Logf: logf})
+
+	info := uploadGraph(t, ts1.URL, arbods.Grid(8, 8).G)
+	st := serverStats(t, ts1.URL)
+	if st.SnapshotErrors != 1 || st.SnapshotSaves != 0 {
+		t.Fatalf("write-failure stats: errors=%d saves=%d", st.SnapshotErrors, st.SnapshotSaves)
+	}
+	if reg.Hits("persist.writeBlob") != 1 {
+		t.Fatalf("persist.writeBlob hits = %d", reg.Hits("persist.writeBlob"))
+	}
+	if !strings.Contains(logs(), "event=snapshot_error") {
+		t.Fatalf("missing snapshot_error record in:\n%s", logs())
+	}
+	// The graph serves from memory regardless.
+	solveRaw(t, ts1.URL, server.SolveRequest{Graph: info.ID, Algorithm: "thm1.1", Seed: 2})
+
+	// A restart has nothing on disk to restore.
+	_, ts2 := newTestServer(t, server.Config{DataDir: dir})
+	if code := getJSON(t, ts2.URL+"/v1/graphs/"+info.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("unsnapshotted graph served after restart: status %d", code)
+	}
+}
+
+// TestHotGraphShed pins the per-graph fairness cap: while a slowed
+// streaming solve holds a graph's only in-flight slot, a second request
+// on the same graph sheds with 429 hot_graph — even though the pool has
+// a free Runner — and both the shed counter and the shed histogram see
+// it. The held solve finishes untouched.
+func TestHotGraphShed(t *testing.T) {
+	reg := faultinject.New(5)
+	// Slow every round after the first: once request A's round-0 progress
+	// line arrives, A stays mid-run for ≥400ms per remaining round —
+	// plenty for B's shed round trip.
+	reg.Arm("congest.step", faultinject.Fault{Round: -1, After: 1, Times: 1000, Delay: 400 * time.Millisecond})
+	_, ts := newTestServer(t, server.Config{PoolSize: 2, MaxPerGraph: 1, Faults: reg})
+
+	aBody, err := json.Marshal(server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 3, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aResp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(aBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aResp.Body.Close()
+	br := bufio.NewReader(aResp.Body)
+	first, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(first, []byte(`"round"`)) {
+		t.Fatalf("first stream line: %s", first)
+	}
+
+	// B: same graph, different seed (a solve-cache hit would answer before
+	// the gate). Must shed, not queue.
+	resp, body := postJSON(t, ts.URL+"/v1/solve",
+		server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 4})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hot-graph request: status %d: %s", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "hot_graph" {
+		t.Fatalf("hot-graph code = %q", code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	st := serverStats(t, ts.URL)
+	if st.Shed != 1 || st.Rejected != 0 {
+		t.Fatalf("shed stats: shed=%d rejected=%d", st.Shed, st.Rejected)
+	}
+	var m server.Metrics
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.ShedMicros.Count != 1 {
+		t.Fatalf("shedMicros count = %d", m.ShedMicros.Count)
+	}
+
+	// A runs to a normal, verified completion.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final struct {
+		Result *rawSolveResponse `json:"result"`
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(rest), []byte("\n")) {
+		if bytes.Contains(line, []byte(`"result"`)) {
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatalf("bad result line %s: %v", line, err)
+			}
+		}
+	}
+	if final.Result == nil || len(final.Result.Receipt) == 0 {
+		t.Fatalf("held solve did not finish cleanly:\n%s%s", first, rest)
+	}
+}
+
+// TestQueueFullShed injects an admission overflow: the request answers
+// 429 at_capacity with Retry-After, counts in both rejected and shed, and
+// the next request (fault spent) serves normally.
+func TestQueueFullShed(t *testing.T) {
+	reg := faultinject.New(2)
+	reg.Arm("server.admit", faultinject.Fault{Round: -1, Err: faultinject.ErrInjected})
+	_, ts := newTestServer(t, server.Config{PoolSize: 1, Faults: reg})
+
+	req := server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 5}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflowed solve: status %d: %s", resp.StatusCode, body)
+	}
+	if _, code := errBody(t, body); code != "at_capacity" {
+		t.Fatalf("overflow code = %q", code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	st := serverStats(t, ts.URL)
+	if st.Rejected != 1 || st.Shed != 1 || st.Solves != 0 {
+		t.Fatalf("overflow stats: rejected=%d shed=%d solves=%d", st.Rejected, st.Shed, st.Solves)
+	}
+
+	solveRaw(t, ts.URL, req)
+	if st := serverStats(t, ts.URL); st.Solves != 1 {
+		t.Fatalf("post-overflow solves = %d", st.Solves)
+	}
+}
+
+// TestReadyzDrain pins the readiness split: /readyz flips to 503 the
+// moment a drain begins while /healthz and every serving endpoint keep
+// answering — the load balancer leaves, in-flight clients finish.
+func TestReadyzDrain(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{PoolSize: 1})
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", code)
+	}
+
+	s.BeginDrain()
+	var rb struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &rb); code != http.StatusServiceUnavailable || rb.Status != "draining" {
+		t.Fatalf("/readyz during drain: %d %q", code, rb.Status)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d", code)
+	}
+	// Draining sheds nothing by itself: in-flight and late solves finish.
+	solveRaw(t, ts.URL, server.SolveRequest{Graph: "spec:cycle:n=32", Algorithm: "thm1.1", Seed: 6})
+	st := serverStats(t, ts.URL)
+	if !st.Draining || st.Solves != 1 {
+		t.Fatalf("drain stats: draining=%v solves=%d", st.Draining, st.Solves)
+	}
+	s.BeginDrain() // idempotent
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after second BeginDrain: %d", code)
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import "sync"
+
+// graphGate bounds solves in flight per graph id, so one hot graph — a
+// benchmark loop, a stuck client retrying, a viral dataset — cannot occupy
+// every pool slot and starve the long tail. The global admission channel
+// still bounds the total; this bounds any single key's share of it.
+// Entries are dropped as soon as their count hits zero, so the map stays
+// proportional to the number of graphs with solves actually in flight.
+type graphGate struct {
+	mu  sync.Mutex
+	cap int
+	n   map[string]int
+}
+
+func newGraphGate(capacity int) *graphGate {
+	return &graphGate{cap: capacity, n: make(map[string]int)}
+}
+
+// acquire claims a slot for id, reporting false when the graph is already
+// at its cap. Every true must be balanced by a release of the same id.
+func (g *graphGate) acquire(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n[id] >= g.cap {
+		return false
+	}
+	g.n[id]++
+	return true
+}
+
+func (g *graphGate) release(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n[id]--; g.n[id] <= 0 {
+		delete(g.n, id)
+	}
+}

@@ -82,17 +82,21 @@ type latencySet struct {
 	queue histogram // admission to Runner checkout
 	solve histogram // engine run (runAlgorithm)
 	total histogram // handler entry to response ready, all outcomes that produced an answer
+	shed  histogram // handler entry to a load-shedding 429 (queue overflow or per-graph cap)
 }
 
 // Metrics is the /v1/metrics payload: one histogram per solve phase.
 // build counts only graph-cache misses (hits skip the build entirely);
 // queue and solve count executed runs; total counts every answered solve,
-// response-cache hits included.
+// response-cache hits included; shed counts the load-shedding 429s — its
+// latencies say how fast overload is being turned away, which is the
+// property that keeps an overloaded server responsive.
 type Metrics struct {
 	BuildMicros HistogramSnapshot `json:"buildMicros"`
 	QueueMicros HistogramSnapshot `json:"queueMicros"`
 	SolveMicros HistogramSnapshot `json:"solveMicros"`
 	TotalMicros HistogramSnapshot `json:"totalMicros"`
+	ShedMicros  HistogramSnapshot `json:"shedMicros"`
 }
 
 func (l *latencySet) snapshot() Metrics {
@@ -101,5 +105,6 @@ func (l *latencySet) snapshot() Metrics {
 		QueueMicros: l.queue.snapshot(),
 		SolveMicros: l.solve.snapshot(),
 		TotalMicros: l.total.snapshot(),
+		ShedMicros:  l.shed.snapshot(),
 	}
 }

@@ -31,9 +31,32 @@
 //     round barrier (503 + Retry-After for the deadline, 499 for the
 //     departed client), so a stuck or abandoned run frees its Runner
 //     within one round instead of holding a pool slot hostage;
-//   - /v1/stats counts both cache layers plus rejections, timeouts and
-//     cancellations, and /v1/metrics serves log-spaced latency histograms
-//     for the build, queue, solve and total phases of the request.
+//   - a panicking proc callback cannot take the process down: the engine
+//     recovers it on its own goroutines, the request answers 500 with
+//     code "proc_panic" and one structured log record (request id, graph,
+//     round, node, truncated stack), and the poisoned Runner is swapped
+//     for a fresh one at checkin — every other in-flight solve finishes
+//     untouched;
+//   - with Config.DataDir set, every uploaded or name-built graph is
+//     mirrored to disk as a checksummed binary CSR snapshot (atomic
+//     temp+rename writes, so a SIGKILL cannot tear them) and restored at
+//     startup: a restarted server answers sha256: references from before
+//     the crash without re-uploading, and corrupt snapshots are detected,
+//     logged, dropped, and rebuilt from source on demand;
+//   - overload is shed fairly and fast: the global admission cap and a
+//     per-graph in-flight cap both answer 429 + Retry-After (the shed
+//     counter and histogram track them), and /readyz — distinct from
+//     /healthz's liveness — flips to 503 when a drain begins so the load
+//     balancer steers traffic away while in-flight solves complete;
+//   - /v1/stats counts both cache layers plus rejections, sheds,
+//     timeouts, cancellations, panics, replaced Runners and snapshot
+//     activity, and /v1/metrics serves log-spaced latency histograms for
+//     the build, queue, solve, total and shed phases of the request.
+//
+// Failure injection for the chaos suite threads through Config.Faults
+// (internal/faultinject): deterministic, seeded faults at the
+// server.build, server.admit, persist.writeBlob, persist.writeIndex and
+// congest.step seams.
 package server
 
 import (
@@ -47,6 +70,7 @@ import (
 	"time"
 
 	"arbods"
+	"arbods/internal/faultinject"
 )
 
 // Config configures a Server.
@@ -70,6 +94,24 @@ type Config struct {
 	// the deadline aborts at the next round barrier and answers 503 with
 	// a Retry-After header.
 	SolveTimeout time.Duration
+	// MaxPerGraph bounds solves in flight for any single graph, so one hot
+	// graph cannot starve every other client out of the pool: the excess
+	// answers 429 with Retry-After and counts in the shed counter (0 =
+	// MaxInflight, i.e. no per-graph restriction beyond the global cap).
+	MaxPerGraph int
+	// DataDir enables crash-safe snapshot persistence: every uploaded or
+	// name-built graph is mirrored to <DataDir>/graphs as a checksummed
+	// binary CSR blob plus an index row, and restored on the next New —
+	// a restarted server answers sha256: references from before the
+	// restart without re-uploading or re-parsing ("" disables).
+	DataDir string
+	// Faults injects deterministic failures for chaos testing: the server
+	// fires "server.build" before a graph build, "server.admit" before
+	// admission, "persist.writeBlob"/"persist.writeIndex" around snapshot
+	// writes, and threads the registry into every engine run for
+	// "congest.step" (nil = no injection, at the cost of one comparison
+	// per seam).
+	Faults *faultinject.Registry
 	// Logf receives one line per request outcome (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -79,24 +121,33 @@ type Config struct {
 // execute on. Create with New, serve via ServeHTTP, and Close after the
 // HTTP server has fully shut down (Close waits for every Runner).
 type Server struct {
-	cfg    Config
-	pool   *arbods.RunnerPool
-	cache  *graphCache
-	scache *solveCache
-	flight flightGroup
-	mux    *http.ServeMux
-	admit  chan struct{}
+	cfg     Config
+	pool    *arbods.RunnerPool
+	cache   *graphCache
+	scache  *solveCache
+	persist *persistStore // nil when DataDir is unset
+	gate    *graphGate
+	flight  flightGroup
+	mux     *http.ServeMux
+	admit   chan struct{}
+
+	draining atomic.Bool   // flipped by BeginDrain; /readyz answers 503
+	reqSeq   atomic.Uint64 // request ids for the structured failure records
 
 	solves   atomic.Int64 // answered solves, response-cache hits included
 	rejected atomic.Int64 // admission overflows (429)
+	shed     atomic.Int64 // all load-shedding 429s: admission overflows + per-graph caps
 	timeouts atomic.Int64 // solves lost to the deadline (503)
 	canceled atomic.Int64 // solves lost to client disconnect (499)
+	panics   atomic.Int64 // solves lost to a recovered proc panic (500)
 	builds   atomic.Int64 // graph builds executed (singleflight leaders)
 	lat      latencySet
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. The only error source is snapshot
+// persistence: an unusable DataDir fails construction rather than
+// silently serving without durability.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 64 << 20
 	}
@@ -104,13 +155,34 @@ func New(cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 4 * pool.Size()
 	}
+	if cfg.MaxPerGraph <= 0 || cfg.MaxPerGraph > cfg.MaxInflight {
+		cfg.MaxPerGraph = cfg.MaxInflight
+	}
 	s := &Server{
 		cfg:    cfg,
 		pool:   pool,
 		cache:  newGraphCache(cfg.MaxCachedGraphs),
 		scache: newSolveCache(cfg.MaxCachedSolves),
+		gate:   newGraphGate(cfg.MaxPerGraph),
 		mux:    http.NewServeMux(),
 		admit:  make(chan struct{}, cfg.MaxInflight),
+	}
+	if cfg.DataDir != "" {
+		ps, err := newPersistStore(cfg.DataDir, s.logf, cfg.Faults)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.persist = ps
+		// Restore snapshots without counting builds or cache misses: the
+		// graphs are served exactly as if their uploads had survived the
+		// restart.
+		for _, e := range ps.load() {
+			s.cache.insert(e, false)
+		}
+		if loaded, _, _ := ps.counters(); loaded > 0 {
+			s.logf("event=snapshot_restore graphs=%d dir=%s", loaded, cfg.DataDir)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -120,7 +192,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -199,6 +272,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resident, existed := s.cache.insert(e, false)
+	if s.persist != nil && !existed {
+		// Synchronous by design: once the 200 is on the wire the graph is
+		// durable — a crash right after the response cannot lose it.
+		s.persist.save(resident)
+	}
 	info := entryInfo(resident)
 	info.New = !existed
 	s.logf("upload %s n=%d m=%d new=%v", resident.id, g.N(), g.M(), !existed)
@@ -252,16 +330,29 @@ type Stats struct {
 	Builds           int64 `json:"builds"`
 	Solves           int64 `json:"solves"`
 	Rejected         int64 `json:"rejected"`
-	Timeouts         int64 `json:"timeouts"`
-	Canceled         int64 `json:"canceled"`
-	PoolSize         int   `json:"poolSize"`
-	PoolWorkers      int   `json:"poolWorkers"`
-	MaxInflight      int   `json:"maxInflight"`
+	// Shed counts every load-shedding 429 — admission-queue overflows
+	// (also in Rejected) plus per-graph fairness sheds.
+	Shed     int64 `json:"shed"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	// Panics counts solves that died to a recovered proc panic (500); each
+	// one also retired its Runner, so RunnersReplaced tracks it.
+	Panics          int64 `json:"panics"`
+	RunnersReplaced int64 `json:"runnersReplaced"`
+	SnapshotsLoaded int64 `json:"snapshotsLoaded,omitempty"`
+	SnapshotSaves   int64 `json:"snapshotSaves,omitempty"`
+	SnapshotErrors  int64 `json:"snapshotErrors,omitempty"`
+	PoolSize        int   `json:"poolSize"`
+	PoolWorkers     int   `json:"poolWorkers"`
+	MaxInflight     int   `json:"maxInflight"`
+	MaxPerGraph     int   `json:"maxPerGraph"`
+	Draining        bool  `json:"draining,omitempty"`
 }
 
 func (s *Server) statsNow() Stats {
 	entries, hits, misses := s.cache.snapshot()
 	shits, smisses := s.scache.counters()
+	loaded, saves, serrs := s.persist.counters()
 	return Stats{
 		Graphs:           len(entries),
 		CacheHits:        hits,
@@ -271,11 +362,19 @@ func (s *Server) statsNow() Stats {
 		Builds:           s.builds.Load(),
 		Solves:           s.solves.Load(),
 		Rejected:         s.rejected.Load(),
+		Shed:             s.shed.Load(),
 		Timeouts:         s.timeouts.Load(),
 		Canceled:         s.canceled.Load(),
+		Panics:           s.panics.Load(),
+		RunnersReplaced:  s.pool.Replaced(),
+		SnapshotsLoaded:  loaded,
+		SnapshotSaves:    saves,
+		SnapshotErrors:   serrs,
 		PoolSize:         s.pool.Size(),
 		PoolWorkers:      s.pool.Workers(),
 		MaxInflight:      cap(s.admit),
+		MaxPerGraph:      s.cfg.MaxPerGraph,
+		Draining:         s.draining.Load(),
 	}
 }
 
@@ -293,6 +392,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status string `json:"status"`
 		Stats  Stats  `json:"stats"`
 	}{Status: "ok", Stats: s.statsNow()})
+}
+
+// handleReadyz is the load-balancer readiness probe, distinct from
+// /healthz on purpose: /healthz answers "is the process alive" (200 for as
+// long as it can serve at all — restarting it would not help), /readyz
+// answers "should new traffic come here" and flips to 503 the moment a
+// drain begins, so the balancer steers new requests away while in-flight
+// solves finish under the drain timeout.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// BeginDrain flips the server to not-ready: /readyz starts answering 503
+// while every other endpoint keeps serving, giving the load balancer time
+// to move traffic before http.Server.Shutdown stops accepting. Idempotent;
+// there is no way back — a draining server is on its way out.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.logf("event=drain_begin")
+	}
 }
 
 // errorBody is the uniform JSON error envelope: a human-readable message

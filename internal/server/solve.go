@@ -171,6 +171,9 @@ func (s *Server) resolveNamed(ctx context.Context, ref string, load func() (*arb
 		if e, ok := s.cache.getName(ref); ok {
 			return e, 0, nil
 		}
+		if err := s.cfg.Faults.Fire("server.build"); err != nil {
+			return entryView{}, http.StatusInternalServerError, err
+		}
 		g, bound, status, err := load()
 		if err != nil {
 			return entryView{}, status, err
@@ -182,6 +185,11 @@ func (s *Server) resolveNamed(ctx context.Context, ref string, load func() (*arb
 			return entryView{}, http.StatusInternalServerError, err
 		}
 		e, _ := s.cache.insert(built, true)
+		if s.persist != nil {
+			// The leader snapshots for everyone: waiters and later requests
+			// find the graph durable as well as resident.
+			s.persist.save(e)
+		}
 		return e, 0, nil
 	})
 	if err != nil {
@@ -237,10 +245,13 @@ func modeOption(mode string) (arbods.Option, error) {
 // solveFail maps a failed solve to its response. Context deaths get
 // distinct treatment: the server's deadline answers 503 with Retry-After
 // (the work was sound, the budget was not — come back), the client's own
-// disconnect answers 499 for the logs, and everything else is the usual
-// 400 with the run error. Streamed responses have already committed a 200
-// header, so they carry the same code on an NDJSON error line instead.
-func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, algo string, err error) {
+// disconnect answers 499 for the logs, a recovered proc panic answers 500
+// (the one failure that is the server's fault, not the request's), and
+// everything else is the usual 400 with the run error. Streamed responses
+// have already committed a 200 header, so they carry the same code on an
+// NDJSON error line instead.
+func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, rid uint64, graphID, algo string, err error) {
+	var pe *arbods.ProcPanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
@@ -257,6 +268,20 @@ func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, algo str
 			return
 		}
 		s.errorCode(w, StatusClientClosedRequest, "canceled", "solve %s: %v", algo, err)
+	case errors.As(err, &pe):
+		// The panic was recovered on the engine's goroutines and the Runner
+		// is already quarantined (RunnerPool.Put replaces it after the
+		// deferred checkin) — this request is lost, every other in-flight
+		// solve is untouched. One structured record carries everything an
+		// operator needs to find the faulty callback.
+		s.panics.Add(1)
+		s.logf("event=proc_panic req=%d graph=%s round=%d node=%d value=%q stack=%q",
+			rid, graphID, pe.Round, pe.Node, fmt.Sprint(pe.Value), truncStack(pe.Stack))
+		if stream != nil {
+			stream.fail(err, "proc_panic")
+			return
+		}
+		s.errorCode(w, http.StatusInternalServerError, "proc_panic", "solve %s: %v", algo, err)
 	default:
 		if stream != nil {
 			stream.fail(err, "run_failed")
@@ -264,6 +289,16 @@ func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, algo str
 		}
 		s.errorCode(w, http.StatusBadRequest, "run_failed", "run %s: %v", algo, err)
 	}
+}
+
+// truncStack keeps the panic record one line and bounded: the top of the
+// stack identifies the faulty frame; the rest is noise at log volume.
+func truncStack(stack []byte) string {
+	const max = 600
+	if len(stack) > max {
+		return string(stack[:max]) + "…"
+	}
+	return string(stack)
 }
 
 // handleSolve is the request lifecycle of one solve: decode → resolve
@@ -275,6 +310,7 @@ func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, algo str
 // within one simulated round.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	rid := s.reqSeq.Add(1)
 	ctx := r.Context()
 	if s.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
@@ -298,7 +334,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	e, hit, status, err := s.resolveGraph(ctx, req.Graph)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.solveFail(w, nil, req.Algorithm, err)
+			s.solveFail(w, nil, rid, req.Graph, req.Algorithm, err)
 			return
 		}
 		s.error(w, status, "%v", err)
@@ -328,21 +364,44 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Fairness: a graph already at its in-flight cap sheds this request
+	// before it can queue, so a hot graph saturates its own share of the
+	// pool and nothing more.
+	if !s.gate.acquire(e.id) {
+		s.shed.Add(1)
+		s.lat.shed.observe(time.Since(t0))
+		w.Header().Set("Retry-After", "1")
+		s.errorCode(w, http.StatusTooManyRequests, "hot_graph",
+			"graph %s already has %d solves in flight (per-graph cap)", e.id[:14], s.cfg.MaxPerGraph)
+		return
+	}
+	defer s.gate.release(e.id)
+
 	// Admission: bound queued solves so overload answers fast instead of
-	// stacking goroutines behind the RunnerPool.
+	// stacking goroutines behind the RunnerPool. The "server.admit"
+	// failpoint injects the overflow deterministically for chaos tests.
 	tQueue := time.Now()
-	select {
-	case s.admit <- struct{}{}:
-		defer func() { <-s.admit }()
-	default:
+	admitted := s.cfg.Faults.Fire("server.admit") == nil
+	if admitted {
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			admitted = false
+		}
+	}
+	if !admitted {
 		s.rejected.Add(1)
+		s.shed.Add(1)
+		s.lat.shed.observe(time.Since(t0))
+		w.Header().Set("Retry-After", "1")
 		s.error(w, http.StatusTooManyRequests, "server at capacity (%d solves in flight or queued)", cap(s.admit))
 		return
 	}
 
 	runner, err := s.pool.GetContext(ctx)
 	if err != nil {
-		s.solveFail(w, nil, req.Algorithm, err)
+		s.solveFail(w, nil, rid, e.id, req.Algorithm, err)
 		return
 	}
 	defer s.pool.Put(runner)
@@ -359,6 +418,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if modeOpt != nil {
 		opts = append(opts, modeOpt)
 	}
+	if s.cfg.Faults != nil {
+		opts = append(opts, arbods.WithFaultInjection(s.cfg.Faults))
+	}
 	if req.MaxRounds > 0 {
 		opts = append(opts, arbods.WithMaxRounds(req.MaxRounds))
 	}
@@ -370,7 +432,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	tSolve := time.Now()
 	rep, err := runAlgorithm(&req, e, opts)
 	if err != nil {
-		s.solveFail(w, stream, req.Algorithm, err)
+		s.solveFail(w, stream, rid, e.id, req.Algorithm, err)
 		return
 	}
 	s.lat.solve.observe(time.Since(tSolve))

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"arbods/internal/congest"
+	"arbods/internal/faultinject"
 )
 
 // This file is the engine-level run surface of the facade: the generic
@@ -104,3 +105,23 @@ func RunBatchContext(ctx context.Context, parallel int, jobs ...Job) error {
 // been closed (RunnerPool.Get returns nil in the same situation): a
 // caller blocked on checkout fails fast instead of waiting forever.
 var ErrPoolClosed = congest.ErrPoolClosed
+
+// ErrProcPanic is the sentinel wrapped by every recovered proc panic: a
+// Factory, Step, or Output callback that panics fails its own run with a
+// *ProcPanicError instead of crashing the process. Match the class with
+// errors.Is(err, ErrProcPanic); reach the round, node, and captured stack
+// with errors.As and *ProcPanicError. The Runner that hosted the run is
+// quarantined — see RunnerPool.Put.
+var ErrProcPanic = congest.ErrProcPanic
+
+// ProcPanicError carries the details of a recovered proc panic: the round
+// it interrupted (−1 outside the round loop), the node whose callback
+// panicked (−1 for engine-internal faults), the panic value, and the
+// panicking goroutine's stack.
+type ProcPanicError = congest.ProcPanicError
+
+// WithFaultInjection attaches a deterministic fault-injection registry to
+// a run: the engine fires the "congest.step" failpoint once per round, so
+// chaos tests can panic, delay, or fail a chosen round reproducibly. Runs
+// without the option (or with a nil registry) pay a single comparison.
+func WithFaultInjection(reg *faultinject.Registry) Option { return congest.WithFaultInjection(reg) }

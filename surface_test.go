@@ -1,11 +1,13 @@
 package arbods_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
 
 	"arbods"
+	"arbods/internal/faultinject"
 )
 
 // TestGeneratorSurface exercises every generator wrapper of the facade.
@@ -329,6 +331,66 @@ func TestCertifySurface(t *testing.T) {
 	// Wrong factor must fail at the ratio stage and unwrap cleanly.
 	if err := arbods.CheckCertificate(w.G, set, x, 0.0001); err == nil {
 		t.Fatal("absurd factor accepted")
+	}
+}
+
+// crashProc is countProc with one node panicking mid-round, for the
+// fault-tolerance surface below.
+type crashProc struct{ countProc }
+
+func (p *crashProc) Step(round int, in []arbods.Incoming, s *arbods.Sender) bool {
+	if p.ni.ID == 3 && round == 1 {
+		panic("surface boom")
+	}
+	return p.countProc.Step(round, in, s)
+}
+
+// TestFaultToleranceSurface pins the robustness surface of the facade:
+// typed proc-panic errors (ErrProcPanic / ProcPanicError), Runner
+// poisoning and pool replacement, the fault-injection option, and the
+// binary snapshot codec — everything the server layer relies on, reachable
+// from package arbods alone.
+func TestFaultToleranceSurface(t *testing.T) {
+	w := arbods.Cycle(12)
+	boom := func(ni arbods.NodeInfo) arbods.Proc[int64] { return &crashProc{countProc{ni: ni}} }
+
+	pool := arbods.NewRunnerPool(1)
+	defer pool.Close()
+	r := pool.Get()
+	_, err := arbods.Run(w.G, boom, arbods.WithSeed(1), arbods.WithRunner(r))
+	if !errors.Is(err, arbods.ErrProcPanic) {
+		t.Fatalf("panicking run err = %v, want ErrProcPanic", err)
+	}
+	var pe *arbods.ProcPanicError
+	if !errors.As(err, &pe) || pe.Round != 1 || pe.Node != 3 || len(pe.Stack) == 0 {
+		t.Fatalf("panic detail = %+v", pe)
+	}
+	if !r.Poisoned() {
+		t.Fatal("panicking Runner not poisoned")
+	}
+	pool.Put(r)
+	if pool.Replaced() != 1 {
+		t.Fatalf("Replaced = %d, want 1", pool.Replaced())
+	}
+
+	// Deterministic fault injection threads through the same option set.
+	reg := faultinject.New(1)
+	reg.Arm("congest.step", faultinject.Fault{Round: 0, Err: faultinject.ErrInjected})
+	if _, err := arbods.WeightedDeterministic(w.G, 1, 0.25, arbods.WithFaultInjection(reg)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected run err = %v, want ErrInjected", err)
+	}
+
+	// The binary snapshot codec round-trips through the facade.
+	var buf bytes.Buffer
+	if err := arbods.EncodeGraphBinary(&buf, w.G); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := arbods.DecodeGraphBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != w.G.N() || g2.M() != w.G.M() {
+		t.Fatalf("binary round trip: n=%d m=%d, want n=%d m=%d", g2.N(), g2.M(), w.G.N(), w.G.M())
 	}
 }
 
