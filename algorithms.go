@@ -47,8 +47,9 @@ const (
 // WithSeed sets the run seed for all per-node randomness.
 func WithSeed(seed uint64) Option { return congest.WithSeed(seed) }
 
-// WithWorkers sets the simulator's goroutine count (1 = sequential engine;
-// results are identical for any value).
+// WithWorkers sets the simulator's goroutine count (1 = sequential
+// engine; 0 = adaptive — sequential below a size crossover, GOMAXPROCS
+// above it; results are bit-identical for any value).
 func WithWorkers(w int) Option { return congest.WithWorkers(w) }
 
 // WithMode selects the communication model (default Congest).

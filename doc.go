@@ -47,7 +47,10 @@
 // bit counts. Message delivery uses a reverse-edge index precomputed at
 // graph build time, so the hot path does no searching, boxing, or
 // reflection. Runs are deterministic given WithSeed, independent of
-// WithWorkers.
+// WithWorkers: parallel runs shard senders and receivers by cumulative
+// degree and merge staged traffic back in exact (sender ID, send index)
+// order, so every worker count — including WithWorkers(0), which picks
+// adaptively by graph size — produces a bit-identical transcript.
 //
 // # Serving pattern
 //

@@ -44,36 +44,43 @@ func TestAllocationCeiling(t *testing.T) {
 		return p
 	}
 
-	r := congest.NewRunner()
-	defer r.Close()
-	run := func(opts ...congest.Option) {
-		res, err := congest.Run(g, factory,
-			append([]congest.Option{congest.WithSeed(1), congest.WithWorkers(1)}, opts...)...)
-		if err != nil {
-			t.Fatal(err)
+	// The ceilings are gated at every worker count, not just the
+	// sequential engine: the parallel path's warm runs must be exactly as
+	// allocation-clean (the staged drain/merge router appends into
+	// Runner-owned buckets, and phase dispatch carries no per-run method
+	// values), so workers=4 is held to the same 32/15 marks as workers=1.
+	for _, workers := range []int{1, 4} {
+		r := congest.NewRunner()
+		run := func(opts ...congest.Option) {
+			res, err := congest.Run(g, factory,
+				append([]congest.Option{congest.WithSeed(1), congest.WithWorkers(workers)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Messages == 0 {
+				t.Fatal("no traffic routed")
+			}
 		}
-		if res.Messages == 0 {
-			t.Fatal("no traffic routed")
+
+		run(congest.WithRunner(r)) // warm the Runner's buffers once
+		reused := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r)) })
+		t.Logf("workers=%d allocs/run on a warm Runner: %.0f", workers, reused)
+		if reused > 32 {
+			t.Errorf("workers=%d reused-Runner run allocates %.0f times (ceiling 32): per-node or per-message allocation crept back into the engine", workers, reused)
 		}
-	}
 
-	run(congest.WithRunner(r)) // warm the Runner's buffers once
-	reused := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r)) })
-	t.Logf("allocs/run on a warm Runner: %.0f", reused)
-	if reused > 32 {
-		t.Errorf("reused-Runner run allocates %.0f times (ceiling 32): per-node or per-message allocation crept back into the engine", reused)
-	}
+		run(congest.WithRunner(r), congest.WithRecycledResult())
+		recycled := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r), congest.WithRecycledResult()) })
+		t.Logf("workers=%d allocs/run on a warm Runner with recycled results: %.0f", workers, recycled)
+		if recycled > 15 {
+			t.Errorf("workers=%d recycled-result run allocates %.0f times (ceiling 15, the PR 4 warm mark): procs/Outputs reuse regressed", workers, recycled)
+		}
 
-	run(congest.WithRunner(r), congest.WithRecycledResult())
-	recycled := testing.AllocsPerRun(3, func() { run(congest.WithRunner(r), congest.WithRecycledResult()) })
-	t.Logf("allocs/run on a warm Runner with recycled results: %.0f", recycled)
-	if recycled > 15 {
-		t.Errorf("recycled-result run allocates %.0f times (ceiling 15, the PR 4 warm mark): procs/Outputs reuse regressed", recycled)
-	}
-
-	transient := testing.AllocsPerRun(3, func() { run() })
-	t.Logf("allocs/run transient: %.0f", transient)
-	if ceiling := float64(allocGraphN) / 100; transient > ceiling {
-		t.Errorf("transient run allocates %.0f times (ceiling %.0f = n/100): run setup is no longer slab-based", transient, ceiling)
+		transient := testing.AllocsPerRun(3, func() { run() })
+		t.Logf("workers=%d allocs/run transient: %.0f", workers, transient)
+		if ceiling := float64(allocGraphN) / 100; transient > ceiling {
+			t.Errorf("workers=%d transient run allocates %.0f times (ceiling %.0f = n/100): run setup is no longer slab-based", workers, transient, ceiling)
+		}
+		r.Close()
 	}
 }

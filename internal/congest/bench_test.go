@@ -1,7 +1,9 @@
 package congest_test
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -9,6 +11,21 @@ import (
 	"arbods/internal/gen"
 	"arbods/internal/graph"
 )
+
+// TestMain stamps the CPU topology into every benchmark record, next to
+// the goos/goarch/cpu lines the testing package prints. The committed
+// BENCH_* trajectory includes records from single-core containers, where
+// the workers>1 rows measure pure dispatch overhead rather than scaling —
+// the numcpu/gomaxprocs header is what keeps such a record from being
+// mistaken for a multicore scaling curve. Emitted only when benchmarks
+// are requested, so ordinary test runs stay quiet.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		fmt.Printf("numcpu: %d\ngomaxprocs: %d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	os.Exit(m.Run())
+}
 
 // largeGraph caches the million-node benchmark instance across
 // sub-benchmarks (generation itself takes seconds at this size).
@@ -33,6 +50,22 @@ func slabFactory(slab []echoProc, rounds int) congest.Factory[int64] {
 	}
 }
 
+// warmRun executes one untimed run before b.ResetTimer so committed
+// records measure the steady state. The first run in a fresh process pays
+// one-time costs — page faults on the just-generated graph, first-touch
+// zeroing of the run's large arrays, and for a reused Runner the whole
+// buffer build — which at the small iteration counts the committed
+// records use (-benchtime with 3 iterations) skew the mean badly: the
+// pr7 record's first BenchmarkRouteOnly iteration ran 2.7× its steady
+// state, and the RunnerReuse rows averaged the cold bind into the "warm"
+// allocs/op.
+func warmRun(b *testing.B, g *graph.Graph, slab []echoProc, rounds int, opts ...congest.Option) {
+	b.Helper()
+	if _, err := congest.Run(g, slabFactory(slab, rounds), opts...); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRunLarge drives the engine end to end on a million-node
 // sparse random graph (avg degree ≈ 4, ≈ 2·10⁶ edges): three rounds of
 // broadcast traffic, ≈ 12·10⁶ routed messages per run. workers=1 is the
@@ -51,6 +84,8 @@ func BenchmarkRunLarge(b *testing.B) {
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			warmRun(b, g, slab, 2,
+				congest.WithSeed(1), congest.WithWorkers(w), congest.WithMode(congest.Local))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -78,6 +113,12 @@ func BenchmarkRunnerReuse(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			r := congest.NewRunner()
 			defer r.Close()
+			// Warm the Runner before the timer: the first run builds every
+			// graph-derived buffer, which is exactly what this benchmark
+			// exists to show is amortized away.
+			warmRun(b, g, slab, 2,
+				congest.WithSeed(1), congest.WithWorkers(w), congest.WithMode(congest.Local),
+				congest.WithRunner(r))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -137,6 +178,11 @@ func BenchmarkSweepBatch(b *testing.B) {
 					return nil
 				}
 			}
+			// One untimed batch warms the pool's Runners (and the OS pages
+			// behind the shared graph) so the record measures steady state.
+			if err := congest.RunBatch(par, jobs...); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -161,6 +207,8 @@ func BenchmarkRouteOnly(b *testing.B) {
 	slab := make([]echoProc, g.N())
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			warmRun(b, g, slab, 1,
+				congest.WithSeed(1), congest.WithWorkers(w), congest.WithMode(congest.Local))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -47,6 +47,25 @@
 // almost nothing beyond the procs themselves. Transcripts are identical
 // either way.
 //
+// # Parallel execution
+//
+// A round executes in barrier-separated phases on the Runner's worker
+// pool. With workers > 1 there are three: step (each worker steps its
+// node range), drain (each worker empties its own senders' outboxes into
+// worker-local staging, bucketed by receiver shard with run-length sender
+// headers), and merge (each worker assembles its own receivers' inboxes
+// from the staging buckets in sender-shard order). The merge order
+// replays every receiver's traffic in exact (sender ID, send index)
+// order, so transcripts are bit-identical at every worker count — and
+// each worker touches O(m/workers) messages per round instead of
+// scanning every outbox. Shard boundaries are cut by cumulative degree
+// (node weight deg+1, one binary search per boundary on the graph's CSR
+// offsets), so hubs don't serialize one shard; on regular graphs the cut
+// equals the node-count split. WithWorkers(1) uses the sequential
+// single-shard router with no staging copy; WithWorkers(0) picks
+// adaptively by graph size. Per-shard structs carry trailing cache-line
+// padding so adjacent shards' hot fields never false-share.
+//
 // # Result lifetime
 //
 // A plain run's Result is ordinary heap memory with no strings attached.
@@ -206,9 +225,12 @@ func WithBandwidth(b int) Option { return optionFunc(func(c *config) { c.bandwid
 // hitting the cap means a bug.
 func WithMaxRounds(r int) Option { return optionFunc(func(c *config) { c.maxRounds = r }) }
 
-// WithWorkers sets the number of goroutines stepping nodes (default
-// GOMAXPROCS; 1 selects the sequential engine). Results are identical for
-// any worker count.
+// WithWorkers sets the number of goroutines stepping and routing nodes
+// (default GOMAXPROCS; 1 selects the sequential engine). WithWorkers(0)
+// selects the adaptive heuristic: the sequential engine below a node-count
+// crossover — small runs never pay the per-round dispatch barriers — and
+// GOMAXPROCS workers above it. Results are bit-identical for every worker
+// count, so the choice is purely about wall-clock time.
 func WithWorkers(w int) Option { return optionFunc(func(c *config) { c.workers = w }) }
 
 // WithSeed sets the run seed for the per-node random streams.
@@ -471,8 +493,8 @@ func Run[O any](g *graph.Graph, factory Factory[O], opts ...Option) (*Result[O],
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	if cfg.workers < 1 {
-		cfg.workers = 1
+	if cfg.workers < 0 {
+		cfg.workers = 0 // negative collapses to the adaptive heuristic
 	}
 	r := cfg.runner
 	transient := r == nil

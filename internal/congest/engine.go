@@ -42,9 +42,20 @@ type engine[O any] struct {
 
 	procs []Proc[O]
 	res   *Result[O]
+}
 
-	stepTask  func(w int)
-	routeTask func(w int)
+// runShard implements phaseRunner: the pool's workers call back into the
+// engine with (phase, shard) pairs, so dispatching a phase allocates
+// nothing — no per-run method values, no per-round closures.
+func (e *engine[O]) runShard(ph phase, w int) {
+	switch ph {
+	case phaseStep:
+		e.stepRange(w)
+	case phaseDrain:
+		e.drainRange(w)
+	case phaseMerge:
+		e.mergeRange(w)
+	}
 }
 
 func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config) (*engine[O], error) {
@@ -111,18 +122,42 @@ func newEngine[O any](r *Runner, g *graph.Graph, factory Factory[O], cfg config)
 	}
 
 	e.res = &Result[O]{Bandwidth: e.budget}
-	e.stepTask = e.stepRange
-	e.routeTask = e.routeRange
 	return e, nil
 }
 
-// dispatch runs a phase task on every shard (inline when sequential).
-func (e *engine[O]) dispatch(task func(w int)) {
+// stepPhase steps every shard (inline when sequential).
+func (e *engine[O]) stepPhase() {
 	if len(e.steps) == 1 {
-		task(0)
+		e.stepRange(0)
 		return
 	}
-	e.pool.run(task, len(e.steps))
+	e.pool.run(e, phaseStep, len(e.steps))
+}
+
+// routePhase routes the round's outboxes into the next round's inboxes.
+// Sequential runs take the single-shard direct path (two passes over the
+// outboxes, no staging copy). Parallel runs split routing at a barrier:
+// drain (workers own disjoint *sender* ranges, staging packets into
+// worker-local buckets keyed by receiver shard) and merge (workers own
+// disjoint *receiver* ranges, replaying the buckets in sender-shard order).
+// Each phase's worker touches only its own shard's memory, so total
+// routing work is O(m) split across workers — the previous single-phase
+// router had every worker scanning every outbox, O(m) *per worker*.
+// A drain-phase panic (engine fault or injected) aborts before the merge
+// reads the half-built staging.
+func (e *engine[O]) routePhase() *ProcPanicError {
+	if len(e.steps) == 1 {
+		e.routeRange(0)
+		return nil
+	}
+	e.pool.run(e, phaseDrain, len(e.drains))
+	for w := range e.drains {
+		if p := e.drains[w].pan; p != nil {
+			return p // shards checked in order: deterministic winner
+		}
+	}
+	e.pool.run(e, phaseMerge, len(e.routes))
+	return nil
 }
 
 func (e *engine[O]) run() (*Result[O], error) {
@@ -149,7 +184,7 @@ func (e *engine[O]) run() (*Result[O], error) {
 		}
 		e.round = round
 
-		e.dispatch(e.stepTask)
+		e.stepPhase()
 		activeCount = 0
 		var pan *ProcPanicError
 		for w := range e.steps {
@@ -175,13 +210,23 @@ func (e *engine[O]) run() (*Result[O], error) {
 			}
 		}
 
-		e.dispatch(e.routeTask)
+		if p := e.routePhase(); p != nil {
+			return nil, p
+		}
 		var roundMsgs, roundBits, inflight int64
 		var rerr *BandwidthError
 		for w := range e.routes {
 			if s := &e.routes[w]; s.pan != nil {
 				return nil, s.pan // engine-internal panic while routing; shards checked in order
 			}
+		}
+		// Message/bit totals live on the drain shards when the parallel
+		// router ran and on the route shards when the sequential one did;
+		// the unused side is zero, so summing both is mode-free.
+		for w := range e.drains {
+			d := &e.drains[w]
+			roundMsgs += d.msgs
+			roundBits += d.bits
 		}
 		for w := range e.routes {
 			s := &e.routes[w]
@@ -224,6 +269,39 @@ func (e *engine[O]) run() (*Result[O], error) {
 	return e.finish()
 }
 
+// mergeTagStats folds one shard's per-tag accumulators into the result,
+// lazily creating the MessageStats map (Runner-owned under recycle).
+func (e *engine[O]) mergeTagStats(stats *[MaxTags]MessageStat) {
+	res := e.res
+	for t := range stats {
+		st := stats[t]
+		if st.Count == 0 {
+			continue
+		}
+		if res.MessageStats == nil {
+			if e.cfg.recycle {
+				// Runner-owned map, cleared at reuse time rather than
+				// per run: the previous Result's view stays intact
+				// until the Runner actually runs again.
+				if e.Runner.msgStats == nil {
+					e.Runner.msgStats = make(map[string]MessageStat, MaxTags)
+				}
+				clear(e.Runner.msgStats)
+				res.MessageStats = e.Runner.msgStats
+			} else {
+				res.MessageStats = make(map[string]MessageStat, 4)
+			}
+		}
+		// One name lookup per *tag* per shard; the per-message work in
+		// the routers is two array adds.
+		name := Tag(t).String()
+		agg := res.MessageStats[name]
+		agg.Count += st.Count
+		agg.Bits += st.Bits
+		res.MessageStats[name] = agg
+	}
+}
+
 // finish merges the per-run shard accumulators and collects outputs. The
 // Output calls are user code, recovered on the same contract as Step
 // panics (Round = -1: the round loop is over).
@@ -236,33 +314,13 @@ func (e *engine[O]) finish() (*Result[O], error) {
 		if s.maxEdgeBits > res.MaxEdgeBits {
 			res.MaxEdgeBits = s.maxEdgeBits
 		}
-		for t := range s.stats {
-			st := s.stats[t]
-			if st.Count == 0 {
-				continue
-			}
-			if res.MessageStats == nil {
-				if e.cfg.recycle {
-					// Runner-owned map, cleared at reuse time rather than
-					// per run: the previous Result's view stays intact
-					// until the Runner actually runs again.
-					if e.Runner.msgStats == nil {
-						e.Runner.msgStats = make(map[string]MessageStat, MaxTags)
-					}
-					clear(e.Runner.msgStats)
-					res.MessageStats = e.Runner.msgStats
-				} else {
-					res.MessageStats = make(map[string]MessageStat, 4)
-				}
-			}
-			// One name lookup per *tag* per shard; the per-message work in
-			// routeRange is two array adds.
-			name := Tag(t).String()
-			agg := res.MessageStats[name]
-			agg.Count += st.Count
-			agg.Bits += st.Bits
-			res.MessageStats[name] = agg
-		}
+		e.mergeTagStats(&s.stats)
+	}
+	// Tag statistics are recorded where the per-packet accounting ran: on
+	// the route shards under the sequential router, on the drain shards
+	// under the parallel one. The unused side is all zeros.
+	for w := range e.drains {
+		e.mergeTagStats(&e.drains[w].stats)
 	}
 	if slab, ok := e.Runner.outSlabO.([]O); e.cfg.recycle && ok && cap(slab) >= e.n {
 		slab = slab[:cap(slab)]

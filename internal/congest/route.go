@@ -43,14 +43,21 @@ type routeShard struct {
 	maxEdgeBits int
 	// stats is tag-indexed: recording a message is two array adds, and
 	// finish aggregates by scanning MaxTags entries — no reflect.Type
-	// map, no hashing in the hot path.
+	// map, no hashing in the hot path. Only the sequential router records
+	// here; the parallel router's per-packet accounting happens on the
+	// drain shards (senderShard.stats).
 	stats [MaxTags]MessageStat
+
+	_ linePad // keep adjacent shards' hot fields off shared cache lines
 }
 
-// routeRange drains every sender's outbox for shard w's receiver range.
+// routeRange is the sequential router: the single shard drains every
+// sender's outbox directly into its flat inbox array, two passes, no
+// staging copy. (Parallel runs route through drainRange/mergeRange in
+// shard.go instead — each worker would otherwise scan every outbox.)
 // Senders are scanned in ID order and outboxes preserve send order, so
 // each inbox fills in (sender ID, send index) order — bit-identical to
-// the sequential engine for any worker count. The outbox entries are
+// the parallel router at any worker count. The outbox entries are
 // plain 32-byte values (destination, reverse index, 24-byte packet)
 // streamed sequentially: no interface unboxing, no dynamic Bits() call,
 // no allocation in steady state.

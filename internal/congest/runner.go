@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"runtime"
 
 	"arbods/internal/graph"
 )
@@ -35,8 +36,10 @@ type Runner struct {
 	done    []bool
 	inbox   [][]Incoming // per-node views into the route shards' flat arrays
 	next    [][]Incoming
+	bounds  []int32 // degree-weighted shard boundaries, len workers+1
 	steps   []stepShard
 	routes  []routeShard
+	drains  []senderShard // drain-phase shards + staging; nil when workers == 1
 	arena   Arena
 
 	// Output-typed slabs, cached through any-boxes because the Runner
@@ -151,6 +154,15 @@ func (r *Runner) bind(g *graph.Graph, cfg config) error {
 	}
 
 	workers := cfg.workers
+	if workers == 0 {
+		// Adaptive: callers that pass WithWorkers(0) let the engine pick.
+		// Small graphs stay sequential — the per-round dispatch barriers
+		// cost more than the parallelism recovers below the crossover.
+		workers = 1
+		if n >= adaptiveWorkersMin {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	if workers > n {
 		workers = n
 	}
@@ -159,17 +171,18 @@ func (r *Runner) bind(g *graph.Graph, cfg config) error {
 	}
 	if workers != r.workers {
 		r.workers = workers
+		// Boundaries are cut by cumulative degree (one binary search on the
+		// CSR offsets per boundary), so skewed-degree graphs don't serialize
+		// on the shard that holds the hubs; see shardBounds.
+		r.bounds = shardBounds(g, workers)
 		r.steps = make([]stepShard, workers)
 		r.routes = make([]routeShard, workers)
-		chunk := (n + workers - 1) / workers
+		r.drains = nil
+		if workers > 1 {
+			r.drains = make([]senderShard, workers)
+		}
 		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo > hi {
-				lo = hi
-			}
+			lo, hi := int(r.bounds[w]), int(r.bounds[w+1])
 			r.steps[w] = stepShard{lo: lo, hi: hi}
 			rs := &r.routes[w]
 			rs.lo, rs.hi = lo, hi
@@ -179,6 +192,18 @@ func (r *Runner) bind(g *graph.Graph, cfg config) error {
 			rs.cnt = make([]int32, hi-lo)
 			rs.off = make([]int32, hi-lo+1)
 			rs.senderGen = 1 // stamp's zero value must mean "never touched"
+			if workers > 1 {
+				d := &r.drains[w]
+				d.lo, d.hi = lo, hi
+				// CSR staging bookkeeping (one int32 array per role, sized by
+				// the worker count, not the graph); the entry/run slabs grow
+				// on the first busy round and stay warm afterwards.
+				d.cntE = make([]int32, workers)
+				d.cntR = make([]int32, workers)
+				d.offE = make([]int32, workers+1)
+				d.offR = make([]int32, workers+1)
+				d.last = make([]int32, workers)
+			}
 		}
 	}
 	for w := range r.routes {
@@ -187,6 +212,9 @@ func (r *Runner) bind(g *graph.Graph, cfg config) error {
 		rs.stats = [MaxTags]MessageStat{}
 		// senderGen stays monotonic across runs, so the stamp scratch needs
 		// no clearing — entries from previous runs can never match.
+	}
+	for w := range r.drains {
+		r.drains[w].stats = [MaxTags]MessageStat{}
 	}
 
 	if workers > 1 && (r.pool == nil || r.poolSize < workers) {

@@ -18,6 +18,9 @@ type stepShard struct {
 	// the Sender-error set can differ across layouts — the panic set of
 	// the surviving minimum cannot).
 	pan *ProcPanicError
+
+	_ [8]byte // round the live fields up to a line boundary
+	_ linePad // keep adjacent shards' hot fields off shared cache lines
 }
 
 // stepRange steps every node in shard w's range. Each node touches only

@@ -222,6 +222,14 @@ func (g *Graph) DegreeSum() int { return len(g.adj) }
 // MaxDegree returns Δ, the maximum degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int { return g.maxDeg }
 
+// AdjOffset returns the CSR offset of node v's adjacency — equivalently,
+// Σ_{u<v} deg(u), the cumulative degree of the nodes before v. Valid for
+// v in [0, N()]; AdjOffset(N()) == DegreeSum(). The offsets are a
+// monotone prefix-degree array, so work partitioners can binary-search
+// them to cut the node range into pieces of near-equal total degree
+// instead of equal node count.
+func (g *Graph) AdjOffset(v int) int { return int(g.offsets[v]) }
+
 // AvgDegree returns 2m/n, or 0 for an empty graph.
 func (g *Graph) AvgDegree() float64 {
 	if g.N() == 0 {
