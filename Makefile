@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race server-race chaos-race ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare alloc-gate batch-race server-race chaos-race cluster-race ci
 
 build:
 	$(GO) build ./...
@@ -95,5 +95,17 @@ chaos-race:
 	$(GO) test ./internal/faultinject/ -race -count=1
 	$(GO) test ./internal/graph/ -race -run 'TestBinary' -count=1
 	$(GO) test ./cmd/arbods-server/ -race -run 'TestCrashRestart' -count=1
+
+# Race-mode cluster smoke: the resilient-serving stack — rendezvous
+# ownership and probe health (internal/cluster), the retry/backoff/
+# breaker client with receipt verification (client), the in-process
+# proxy/replication/fallback/partition tests, and the real-binary
+# SIGKILL + blackhole failover acceptance test. Runs inside `make race`
+# too; this target exists so CI (and humans) can exercise exactly the
+# failover paths next to chaos-race.
+cluster-race:
+	$(GO) test ./internal/cluster/ ./client/ -race -count=1
+	$(GO) test ./internal/server/ -race -run 'TestCluster|TestAdaptiveRetryAfter' -count=1
+	$(GO) test ./cmd/arbods-server/ -race -run 'TestClusterChaosFailover' -count=1
 
 ci: build vet fmt-check race

@@ -1,0 +1,88 @@
+package arbodsclient
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"arbods"
+)
+
+// verifyResponse is the VerifyReceipts check: everything the client can
+// re-derive from the answer is re-derived. The receipt's own checks must
+// all pass; its arithmetic (ratio = weight / packing sum, ratio within
+// the certified factor) must be consistent; and when the response
+// carries the dominating set, the graph is downloaded over the verified
+// binary wire and domination, set size, and set weight are proven from
+// scratch. Any failure is terminal: the server is deterministic, so a
+// wrong answer retried is the same wrong answer.
+func (c *Client) verifyResponse(ctx context.Context, resp *SolveResponse) error {
+	r := resp.Receipt
+	if r == nil {
+		return fmt.Errorf("response carries no receipt")
+	}
+	if !r.OK {
+		for _, ch := range r.Checks {
+			if !ch.Pass && !ch.Skipped {
+				return fmt.Errorf("server check %q failed: %s", ch.Name, ch.Detail)
+			}
+		}
+		return fmt.Errorf("receipt not OK")
+	}
+	for _, ch := range r.Checks {
+		if !ch.Pass && !ch.Skipped {
+			return fmt.Errorf("receipt claims OK but check %q failed: %s", ch.Name, ch.Detail)
+		}
+	}
+	// The certified ratio must be the arithmetic it claims to be, and
+	// within the per-run guarantee when one was certified.
+	if r.PackingSum > 0 && r.CertifiedRatio > 0 {
+		want := float64(r.SetWeight) / r.PackingSum
+		if !closeEnough(r.CertifiedRatio, want) {
+			return fmt.Errorf("certified ratio %.6f != weight/packing %.6f", r.CertifiedRatio, want)
+		}
+		if r.Factor > 0 && r.CertifiedRatio > r.Factor*(1+arbods.CertTolerance) {
+			return fmt.Errorf("certified ratio %.6f exceeds guarantee %.6f", r.CertifiedRatio, r.Factor)
+		}
+	}
+	if len(resp.DS) == 0 {
+		return nil // no set to re-prove; request IncludeDS for the full check
+	}
+	g, err := c.Graph(ctx, resp.Graph.ID)
+	if err != nil {
+		return fmt.Errorf("fetch graph for verification: %w", err)
+	}
+	if g.N() != r.Nodes || g.M() != r.Edges {
+		return fmt.Errorf("graph shape (%d nodes, %d edges) != receipt (%d, %d)", g.N(), g.M(), r.Nodes, r.Edges)
+	}
+	if len(resp.DS) != r.SetSize {
+		return fmt.Errorf("ds has %d nodes, receipt claims %d", len(resp.DS), r.SetSize)
+	}
+	inSet := make([]bool, g.N())
+	var weight int64
+	for _, v := range resp.DS {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("ds node %d out of range [0,%d)", v, g.N())
+		}
+		if inSet[v] {
+			return fmt.Errorf("ds node %d repeated", v)
+		}
+		inSet[v] = true
+		weight += g.Weight(v)
+	}
+	if weight != r.SetWeight {
+		return fmt.Errorf("ds weight %d != receipt %d", weight, r.SetWeight)
+	}
+	if undominated := arbods.IsDominatingSet(g, inSet); len(undominated) > 0 {
+		return fmt.Errorf("%d nodes undominated (first: %d)", len(undominated), undominated[0])
+	}
+	return nil
+}
+
+// closeEnough is the relative float comparison for re-derived receipt
+// arithmetic.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= arbods.CertTolerance*math.Max(scale, 1)
+}

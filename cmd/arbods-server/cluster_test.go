@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"arbods"
+	arbodsclient "arbods/client"
+	"arbods/internal/cluster"
+	"arbods/internal/faultinject"
+	"arbods/internal/server"
+)
+
+// reserveAddrs grabs n ephemeral 127.0.0.1 ports and releases them, so
+// every daemon in a cluster can be told the full peer list — its own
+// address included — before any of them starts. The close-then-rebind
+// race is real but tiny: nothing else on the box is hunting these ports.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// waitClusterView polls url's /v1/stats until check passes on its
+// cluster section.
+func waitClusterView(t *testing.T, url string, what string, check func(*server.ClusterStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/v1/stats")
+		if err == nil {
+			var st server.Stats
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Cluster != nil && check(st.Cluster) {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s: cluster view on %s never converged", what, url)
+}
+
+// TestClusterChaosFailover is the failover acceptance test on the real
+// binary: 3 daemons with R=2 replication serve a sweep through the
+// resilient client while one daemon is SIGKILLed and another's link is
+// blackholed mid-sweep. The client must complete 100% of the solves, and
+// every receipt must be byte-identical to the same sweep against a
+// single healthy standalone daemon — failover changes who answers, never
+// what the answer is.
+func TestClusterChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "arbods-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	ctx := context.Background()
+	g := arbods.Grid(9, 7).G
+	sweep := []arbodsclient.SolveRequest{
+		{Algorithm: "thm1.1", Seed: 1, IncludeDS: true},
+		{Algorithm: "thm1.1", Seed: 2},
+		{Algorithm: "thm3.1", Seed: 1},
+		{Algorithm: "thm1.2", Seed: 3, IncludeDS: true},
+		{Algorithm: "lw"},
+		{Algorithm: "lrg", Seed: 5},
+	}
+
+	// Baseline: one standalone daemon answers the whole sweep.
+	solo := startDaemon(t, bin)
+	soloClient, err := arbodsclient.New(arbodsclient.Config{
+		Endpoints:      []string{solo.base},
+		VerifyReceipts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloInfo, err := soloClient.Upload(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make([][]byte, len(sweep))
+	for i, req := range sweep {
+		req.Graph = soloInfo.ID
+		out, err := soloClient.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("baseline solve %d: %v", i, err)
+		}
+		baseline[i] = out.ReceiptBytes
+	}
+	solo.cmd.Process.Kill()
+	solo.cmd.Wait()
+
+	// Cluster of 3 real daemons, every one knowing the full peer list.
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peersFlag := strings.Join(urls, ",")
+	procs := make(map[string]*daemonProc, len(urls))
+	for i, a := range addrs {
+		d := startDaemonAddr(t, bin, a,
+			"-peers", peersFlag, "-self", urls[i], "-probe-interval", "50ms")
+		procs[urls[i]] = d
+		defer func() {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}()
+	}
+	// Daemons started in sequence briefly see later peers as down; wait
+	// until everyone's probes agree the cluster is whole.
+	for _, u := range urls {
+		waitClusterView(t, u, "startup", func(cs *server.ClusterStats) bool {
+			healthy := 0
+			for _, p := range cs.Peers {
+				if p.Healthy {
+					healthy++
+				}
+			}
+			return len(cs.Peers) == 3 && healthy == 3
+		})
+	}
+
+	// The test chooses its victims by ownership, computed from the same
+	// rendezvous hash the daemons use: SIGKILL one owner, blackhole the
+	// non-owner's link, and let the surviving owner carry the sweep.
+	cset, err := cluster.New(cluster.Config{Self: urls[0], Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := faultinject.New(1)
+	cli, err := arbodsclient.New(arbodsclient.Config{
+		Endpoints:        urls,
+		HTTPClient:       &http.Client{Transport: &faultinject.Transport{Reg: reg}},
+		MaxAttempts:      12,
+		AttemptTimeout:   2 * time.Second,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       50 * time.Millisecond,
+		RetryAfterCap:    50 * time.Millisecond,
+		RetryBudget:      100,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		VerifyReceipts:   true,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cli.Upload(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != soloInfo.ID {
+		t.Fatalf("cluster upload id %s, standalone id %s", info.ID, soloInfo.ID)
+	}
+	owners := cset.Owners(info.ID)
+	if len(owners) != 2 {
+		t.Fatalf("Owners(%s) = %v, want 2", info.ID, owners)
+	}
+	victim, survivor := owners[0], owners[1]
+	var blackholed string
+	for _, u := range urls {
+		if u != victim && u != survivor {
+			blackholed = u
+		}
+	}
+
+	solveAt := func(i int) {
+		t.Helper()
+		req := sweep[i]
+		req.Graph = info.ID
+		out, err := cli.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("cluster solve %d: %v", i, err)
+		}
+		if !bytes.Equal(out.ReceiptBytes, baseline[i]) {
+			t.Fatalf("solve %d receipt diverges from standalone baseline\n cluster: %s\nbaseline: %s",
+				i, out.ReceiptBytes, baseline[i])
+		}
+	}
+
+	// First half of the sweep against a fully healthy cluster.
+	for i := 0; i < len(sweep)/2; i++ {
+		solveAt(i)
+	}
+
+	// Chaos, mid-sweep: one owner dies without warning, and the client's
+	// link to the non-owner becomes a packet-eating partition (requests
+	// hang until AttemptTimeout, not fail fast).
+	v := procs[victim]
+	if err := v.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	v.cmd.Wait()
+	reg.Arm("peer."+strings.TrimPrefix(blackholed, "http://"),
+		faultinject.Fault{Round: -1, Times: 1 << 20, Err: faultinject.ErrBlackhole})
+
+	// Rest of the sweep: every solve must still succeed, with receipts
+	// matching the standalone baseline byte for byte.
+	for i := len(sweep) / 2; i < len(sweep); i++ {
+		solveAt(i)
+	}
+
+	// The survivor's /v1/stats shows the per-peer cluster view: three
+	// peers, counters moving, and the killed daemon marked unhealthy.
+	waitClusterView(t, survivor, "post-chaos", func(cs *server.ClusterStats) bool {
+		if len(cs.Peers) != 3 || cs.Self != survivor || cs.Replicas != 2 {
+			return false
+		}
+		for _, p := range cs.Peers {
+			if p.Peer == victim {
+				return !p.Healthy && p.Probes > 0 && p.ProbeFailures > 0
+			}
+		}
+		return false
+	})
+}

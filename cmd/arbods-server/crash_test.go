@@ -24,13 +24,20 @@ type daemonProc struct {
 	base string // http://host:port
 }
 
-// startDaemon execs the built binary and waits for its "listening on"
-// line to learn the ephemeral port. Stderr keeps draining in the
-// background so request logging can never block the process on a full
-// pipe.
+// startDaemon execs the built binary on an ephemeral port and waits for
+// its "listening on" line to learn it.
 func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
 	t.Helper()
-	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	return startDaemonAddr(t, bin, "127.0.0.1:0", args...)
+}
+
+// startDaemonAddr is startDaemon on a fixed address (cluster tests
+// reserve ports up front so every daemon can know its peers' addresses
+// before any of them starts). Stderr keeps draining in the background so
+// request logging can never block the process on a full pipe.
+func startDaemonAddr(t *testing.T, bin, addr string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -30,6 +30,15 @@
 // (fairness 429s), and a panicking solve answers 500 while everything
 // else keeps serving.
 //
+// With -peers (comma-separated advertised URLs, -self naming this
+// daemon's own entry), the daemon joins a replicated cluster: each graph
+// rendezvous-hashes to -replicas owner daemons, solves for graphs this
+// daemon does not own are proxied to a healthy owner (and served locally
+// when every owner is down — receipts stay byte-identical either way),
+// uploads replicate to their owners, and /v1/stats grows a per-peer
+// health and traffic section. Peer health rides /readyz probes every
+// -probe-interval with failure-count hysteresis.
+//
 // SIGINT/SIGTERM first flip /readyz to 503, then drain in-flight requests
 // under -drain-timeout before the RunnerPool is released.
 package main
@@ -44,9 +53,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"arbods/internal/cluster"
 	"arbods/internal/server"
 )
 
@@ -75,6 +86,10 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		solveTO   = fs.Duration("solve-timeout", 0, "per-solve deadline; past it the run aborts and answers 503 (0 = none)")
 		drain     = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown timeout: in-flight requests get this long to finish after SIGTERM")
 		quiet     = fs.Bool("quiet", false, "suppress per-request log lines")
+		peers     = fs.String("peers", "", "comma-separated advertised peer URLs forming a replicated cluster (\"\" = standalone)")
+		self      = fs.String("self", "", "this daemon's advertised URL within -peers (required with -peers)")
+		replicas  = fs.Int("replicas", 0, "owner daemons per graph (0 = 2, clamped to the peer count)")
+		probeIv   = fs.Duration("probe-interval", 0, "peer /readyz probe period (0 = 1s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +98,23 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 	logf := log.New(os.Stderr, "arbods-server: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = nil
+	}
+	var cset *cluster.Set
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this daemon's advertised URL)")
+		}
+		var err error
+		cset, err = cluster.New(cluster.Config{
+			Self:          *self,
+			Peers:         strings.Split(*peers, ","),
+			Replicas:      *replicas,
+			ProbeInterval: *probeIv,
+			Logf:          logf,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	srv, err := server.New(server.Config{
 		CorpusDir:       *corpus,
@@ -94,6 +126,7 @@ func run(args []string, stop <-chan struct{}, ready chan<- string) error {
 		MaxCachedGraphs: *maxGraphs,
 		MaxCachedSolves: *maxSolves,
 		SolveTimeout:    *solveTO,
+		Cluster:         cset,
 		Logf:            logf,
 	})
 	if err != nil {

@@ -5,6 +5,14 @@
 //	mdsrun -algo thm1.2 -t 2 -graph my.graph -alpha 4
 //	mdsrun -algo tree -gen tree:n=5000 -print-ds
 //
+// With -servers, the solve runs on an arbods-server cluster instead of
+// in-process: the graph uploads over the ARBCSR01 binary wire, the solve
+// rides the resilient client (multi-endpoint failover, backoff, circuit
+// breaking), and the answer's receipt is verified locally before
+// anything prints:
+//
+//	mdsrun -servers host1:8080,host2:8080 -algo thm1.1 -gen grid:n=900 -receipt
+//
 // Algorithms: thm3.1 (unweighted det), thm1.1 (weighted det), thm1.2
 // (weighted randomized, -t), thm1.3 (general graphs, -k), remark4.4,
 // remark4.5, tree (Observation A.1), lw (LW bucket), lrg (LRG), greedy
@@ -17,10 +25,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"os"
+	"strings"
+	"time"
 
 	"arbods"
+	arbodsclient "arbods/client"
 	"arbods/internal/gen"
 )
 
@@ -65,6 +77,7 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "simulator goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		local   = fs.Bool("local", false, "run in the LOCAL model (no bandwidth limit)")
 		timeout = fs.Duration("timeout", 0, "abort the run after this long (checked at each round barrier; 0 = no limit)")
+		servers = fs.String("servers", "", "comma-separated arbods-server base URLs: solve remotely through the resilient client instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +108,15 @@ func run(args []string) error {
 	}
 	if a == 0 {
 		a = 1
+	}
+
+	if *servers != "" {
+		return runRemote(remoteConfig{
+			endpoints: strings.Split(*servers, ","),
+			algo:      *algo, alpha: a, eps: *eps, t: *tParam, k: *kParam,
+			seed: *seed, local: *local, timeout: *timeout,
+			printDS: *printDS, receipt: *receipt,
+		}, g, name)
 	}
 
 	s := summary{
@@ -164,6 +186,81 @@ func run(args []string) error {
 	}
 	if *printDS {
 		return json.NewEncoder(os.Stdout).Encode(rep.DS)
+	}
+	return nil
+}
+
+// remoteConfig carries the flags relevant to a -servers run.
+type remoteConfig struct {
+	endpoints        []string
+	algo             string
+	alpha, t, k      int
+	eps              float64
+	seed             uint64
+	local            bool
+	timeout          time.Duration
+	printDS, receipt bool
+}
+
+// runRemote executes the solve on an arbods-server cluster through the
+// resilient client: the graph uploads over the binary wire, the solve
+// retries across endpoints with backoff and per-endpoint circuit
+// breaking, and the answer's receipt (plus the dominating set itself,
+// with -print-ds) is verified locally before anything prints.
+func runRemote(rc remoteConfig, g *arbods.Graph, name string) error {
+	cli, err := arbodsclient.New(arbodsclient.Config{
+		Endpoints:      rc.endpoints,
+		VerifyReceipts: true,
+		Logf:           log.New(os.Stderr, "mdsrun: ", 0).Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if rc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		defer cancel()
+	}
+	info, err := cli.Upload(ctx, g)
+	if err != nil {
+		return err
+	}
+	req := arbodsclient.SolveRequest{
+		Graph: info.ID, Algorithm: rc.algo, Alpha: rc.alpha, Eps: rc.eps,
+		T: rc.t, K: rc.k, Seed: rc.seed, IncludeDS: rc.printDS,
+	}
+	if rc.local {
+		req.Mode = "local"
+	}
+	out, err := cli.Solve(ctx, req)
+	if err != nil {
+		return err
+	}
+	rec := out.Receipt
+	if rec == nil {
+		return errors.New("server answered without a receipt")
+	}
+	if rc.receipt {
+		if err := emitJSON(rec); err != nil {
+			return err
+		}
+	} else {
+		s := summary{
+			Algorithm: rec.Algorithm, Graph: name,
+			Nodes: rec.Nodes, Edges: rec.Edges, MaxDegree: g.MaxDegree(),
+			Alpha:  rec.Alpha,
+			DSSize: rec.SetSize, DSWeight: rec.SetWeight,
+			Rounds: rec.Rounds, Messages: rec.Messages, TotalBits: rec.TotalBits,
+			PackingSum: rec.PackingSum, CertifiedRatio: rec.CertifiedRatio,
+			GuaranteeFactor: rec.Factor, Certified: rec.OK,
+		}
+		if err := emit(&s); err != nil {
+			return err
+		}
+	}
+	if rc.printDS {
+		return json.NewEncoder(os.Stdout).Encode(out.DS)
 	}
 	return nil
 }

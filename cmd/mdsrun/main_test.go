@@ -1,10 +1,13 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"arbods/internal/server"
 )
 
 // silenceStdout redirects os.Stdout to /dev/null for the test's duration.
@@ -87,5 +90,35 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunRemote(t *testing.T) {
+	silenceStdout(t)
+	srv, err := server.New(server.Config{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	// The full remote path: binary upload, solve with failover client,
+	// receipt verified locally, receipt and DS printed.
+	args := []string{"-servers", ts.URL, "-algo", "thm1.1",
+		"-gen", "grid:r=5,c=5", "-print-ds", "-receipt"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	// The summary path (no -receipt) rides the same verified answer.
+	if err := run([]string{"-servers", ts.URL, "-algo", "lw", "-gen", "grid:r=4,c=4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Centralized baselines are not servable; the server's rejection must
+	// surface as a terminal error, not retries.
+	err = run([]string{"-servers", ts.URL, "-algo", "greedy", "-gen", "grid:r=3,c=3"})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("remote greedy: err = %v, want unknown algorithm", err)
 	}
 }

@@ -174,4 +174,22 @@
 // the failure paths above are pinned by ordinary reproducible tests
 // (`make chaos-race`) rather than by races. A nil registry is the
 // production state and costs one comparison per seam.
+//
+// # Resilient client
+//
+// Multiple daemons form a replicated cluster (arbods-server -peers):
+// each graph rendezvous-hashes to a fixed set of owner daemons, solves
+// are proxied to a healthy owner or served locally when none is left,
+// and receipts stay byte-identical no matter which daemon executes —
+// determinism is what makes failover invisible. The public client
+// package (import "arbods/client", package arbodsclient) is the
+// matching way in: it spreads requests over endpoints, retries
+// transient failures with capped exponential backoff and full jitter,
+// honors Retry-After hints, spends retries from a token budget so a
+// client cannot amplify an outage, and trips a per-endpoint circuit
+// breaker around dead daemons. With VerifyReceipts it re-verifies every
+// answer locally — receipt checks, arithmetic, and a from-scratch
+// domination proof against the hash-verified graph — so answers are
+// checked, not trusted. See the README "Cluster" section and
+// examples/cluster.
 package arbods

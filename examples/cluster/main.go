@@ -1,0 +1,136 @@
+// Cluster: run three arbods daemons in-process as a replicated cluster,
+// upload a graph once through the resilient client, solve it with
+// receipt verification, kill an owner daemon, and solve again — the
+// failover answer's receipt is byte-identical, because receipts are a
+// pure function of (graph, algorithm, parameters, seed), never of which
+// daemon executed.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"arbods"
+	arbodsclient "arbods/client"
+	"arbods/internal/cluster"
+	"arbods/internal/server"
+)
+
+func main() {
+	// Peer URLs must be known before any daemon starts, so each HTTP
+	// listener comes up first with a late-bound handler and the Server is
+	// plugged in once its cluster view exists.
+	const n = 3
+	slots := make([]atomic.Pointer[server.Server], n)
+	urls := make([]string, n)
+	for i := range slots {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s := slots[i].Load(); s != nil {
+				s.ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	servers := make([]*server.Server, n)
+	for i := range servers {
+		cset, err := cluster.New(cluster.Config{
+			Self:          urls[i],
+			Peers:         urls,
+			Replicas:      2,
+			ProbeInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := server.New(server.Config{PoolSize: 2, Cluster: cset})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+		slots[i].Store(srv)
+	}
+
+	// The resilient client fronts the whole cluster: endpoint rotation,
+	// retries with jittered backoff, per-endpoint circuit breakers, and
+	// local re-verification of every receipt.
+	cli, err := arbodsclient.New(arbodsclient.Config{
+		Endpoints:      urls,
+		VerifyReceipts: true,
+		AttemptTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One upload, anywhere: the graph replicates to its rendezvous-hashed
+	// owner daemons over the ARBCSR01 binary wire.
+	info, err := cli.Upload(ctx, arbods.Grid(20, 20).G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ownership is a pure function of (key, peer set): any observer with
+	// the peer list computes the same owners the daemons do.
+	view, err := cluster.New(cluster.Config{Self: urls[0], Peers: urls, Replicas: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	owners := map[string]bool{}
+	for i, o := range view.Owners(info.ID) {
+		owners[o] = true
+		fmt.Printf("owner %d of %s: daemon %d\n", i+1, info.ID[:17], indexOf(urls, o))
+	}
+
+	req := arbodsclient.SolveRequest{Graph: info.ID, Algorithm: "thm1.1", Seed: 7, IncludeDS: true}
+	first, err := cli.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve 1: servedBy daemon %d (proxied=%v), |S|=%d, verified ✓\n",
+		indexOf(urls, first.ServedBy), first.Proxied, first.Receipt.SetSize)
+
+	// Kill one owner daemon outright. Ownership never moves — the
+	// surviving owner (or, with every owner gone, any daemon holding the
+	// replica) just answers instead.
+	for i, u := range urls {
+		if owners[u] {
+			fmt.Printf("killing owner daemon %d\n", i)
+			slots[i].Store(nil)
+			servers[i].Close()
+			break
+		}
+	}
+
+	second, err := cli.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve 2: servedBy daemon %d (proxied=%v), attempts=%d\n",
+		indexOf(urls, second.ServedBy), second.Proxied, second.Attempts)
+	if !bytes.Equal(first.ReceiptBytes, second.ReceiptBytes) {
+		log.Fatal("receipts diverged across failover")
+	}
+	fmt.Println("failover receipt byte-identical ✓")
+}
+
+func indexOf(urls []string, u string) int {
+	for i, v := range urls {
+		if v == u {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,7 +1,7 @@
 package arbods_test
 
 // Build-and-run smoke coverage for examples/: each example main must
-// keep compiling and exiting cleanly, so the eight entry points named in
+// keep compiling and exiting cleanly, so the nine entry points named in
 // the documentation can never silently rot. The test shells out to the
 // go tool (examples are package main, unreachable from library tests).
 
@@ -26,8 +26,8 @@ func TestExamplesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mains) != 8 {
-		t.Fatalf("found %d example mains, want 8 (update this test when adding examples): %v",
+	if len(mains) != 9 {
+		t.Fatalf("found %d example mains, want 9 (update this test when adding examples): %v",
 			len(mains), mains)
 	}
 	for _, main := range mains {

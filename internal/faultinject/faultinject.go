@@ -19,10 +19,15 @@
 //	server.admit      fired by the solve path just before admission
 //	persist.writeBlob fired before a snapshot blob is renamed into place
 //	persist.writeIndex fired before the snapshot index is rewritten
+//	peer.<host:port>  fired by Transport before every HTTP request to that
+//	                  peer (cluster proxying, health probes, snapshot
+//	                  fetches, and any client wired through Transport)
 package faultinject
 
 import (
+	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 )
@@ -188,3 +193,37 @@ func (r *Registry) Chance(p float64) bool {
 // ErrInjected is a convenience error for arms that only need "some
 // failure" — tests can assert on it with errors.Is.
 var ErrInjected = fmt.Errorf("faultinject: injected failure")
+
+// ErrBlackhole, armed as a Fault's Err at a peer seam, makes Transport
+// hang until the request's context is done instead of failing fast — a
+// network partition rather than a connection refusal. The caller sees
+// its own context error, exactly as if the packets had vanished.
+var ErrBlackhole = errors.New("faultinject: blackholed")
+
+// Transport is an http.RoundTripper with a per-peer failpoint seam:
+// every outgoing request fires "peer.<host:port>" before reaching Base,
+// so a chaos test can blackhole, fail, or slow one daemon's link while
+// the rest of the cluster stays clean. Faults compose the usual way —
+// Delay models link latency, Err a refused connection, ErrBlackhole a
+// partition (the request hangs until its context dies; arm it with a
+// large Times so the partition persists). A nil Reg forwards untouched.
+type Transport struct {
+	Base http.RoundTripper // nil = http.DefaultTransport
+	Reg  *Registry
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.Reg.Fire("peer." + req.URL.Host); err != nil {
+		if errors.Is(err, ErrBlackhole) {
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		}
+		return nil, err
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

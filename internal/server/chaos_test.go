@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -78,6 +79,22 @@ func captureLog() (func(string, ...any), func() string) {
 		return buf.String()
 	}
 	return logf, read
+}
+
+// checkRetryAfter asserts the adaptive Retry-After hint: an integer
+// second count inside the server's [1, 30] clamp. The exact value
+// depends on live queue depth and latency history, so the assertion is
+// the range, not a constant.
+func checkRetryAfter(t *testing.T, resp *http.Response) {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want integer seconds", ra)
+	}
+	if secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After = %d, want within [1, 30]", secs)
+	}
 }
 
 // errBody decodes the uniform error envelope.
@@ -298,9 +315,7 @@ func TestHotGraphShed(t *testing.T) {
 	if _, code := errBody(t, body); code != "hot_graph" {
 		t.Fatalf("hot-graph code = %q", code)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "1" {
-		t.Fatalf("Retry-After = %q", ra)
-	}
+	checkRetryAfter(t, resp)
 	st := serverStats(t, ts.URL)
 	if st.Shed != 1 || st.Rejected != 0 {
 		t.Fatalf("shed stats: shed=%d rejected=%d", st.Shed, st.Rejected)
@@ -331,6 +346,30 @@ func TestHotGraphShed(t *testing.T) {
 	}
 }
 
+// TestAdaptiveRetryAfter pins that the Retry-After hint actually adapts:
+// after an injected slow solve inflates the latency history, a shed
+// request is told to wait at least the mean solve time instead of the
+// old constant "1".
+func TestAdaptiveRetryAfter(t *testing.T) {
+	reg := faultinject.New(3)
+	// One slow round pushes the mean solve latency past 1s…
+	reg.Arm("congest.step", faultinject.Fault{Round: -1, Delay: 1100 * time.Millisecond})
+	_, ts := newTestServer(t, server.Config{PoolSize: 1, Faults: reg})
+	solveRaw(t, ts.URL, server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 6})
+
+	// …so the next shed must hint ⌈(queued+1)·mean/workers⌉ ≥ 2 seconds.
+	reg.Arm("server.admit", faultinject.Fault{Round: -1, Err: faultinject.ErrInjected})
+	resp, body := postJSON(t, ts.URL+"/v1/solve",
+		server.SolveRequest{Graph: "spec:cycle:n=64", Algorithm: "thm1.1", Seed: 7})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflowed solve: status %d: %s", resp.StatusCode, body)
+	}
+	checkRetryAfter(t, resp)
+	if secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")); secs < 2 {
+		t.Fatalf("Retry-After = %d after a >1s mean solve, want >= 2", secs)
+	}
+}
+
 // TestQueueFullShed injects an admission overflow: the request answers
 // 429 at_capacity with Retry-After, counts in both rejected and shed, and
 // the next request (fault spent) serves normally.
@@ -347,9 +386,7 @@ func TestQueueFullShed(t *testing.T) {
 	if _, code := errBody(t, body); code != "at_capacity" {
 		t.Fatalf("overflow code = %q", code)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "1" {
-		t.Fatalf("Retry-After = %q", ra)
-	}
+	checkRetryAfter(t, resp)
 	st := serverStats(t, ts.URL)
 	if st.Rejected != 1 || st.Shed != 1 || st.Solves != 0 {
 		t.Fatalf("overflow stats: rejected=%d shed=%d solves=%d", st.Rejected, st.Shed, st.Solves)

@@ -41,6 +41,17 @@ func (h *histogram) observe(d time.Duration) {
 	}
 }
 
+// mean reports the average observed duration, zero when empty. The
+// adaptive Retry-After hint uses it to turn "queue depth × mean solve
+// time ÷ workers" into seconds.
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
 // Bucket is one cumulative histogram bucket: Count observations took at
 // most LeMicros microseconds.
 type Bucket struct {
@@ -83,6 +94,7 @@ type latencySet struct {
 	solve histogram // engine run (runAlgorithm)
 	total histogram // handler entry to response ready, all outcomes that produced an answer
 	shed  histogram // handler entry to a load-shedding 429 (queue overflow or per-graph cap)
+	proxy histogram // solves forwarded to an owner daemon, request to relayed response
 }
 
 // Metrics is the /v1/metrics payload: one histogram per solve phase.
@@ -97,6 +109,9 @@ type Metrics struct {
 	SolveMicros HistogramSnapshot `json:"solveMicros"`
 	TotalMicros HistogramSnapshot `json:"totalMicros"`
 	ShedMicros  HistogramSnapshot `json:"shedMicros"`
+	// ProxyMicros counts solves this daemon forwarded to an owner peer —
+	// end to end, including the owner's own queue and solve time.
+	ProxyMicros HistogramSnapshot `json:"proxyMicros"`
 }
 
 func (l *latencySet) snapshot() Metrics {
@@ -106,5 +121,6 @@ func (l *latencySet) snapshot() Metrics {
 		SolveMicros: l.solve.snapshot(),
 		TotalMicros: l.total.snapshot(),
 		ShedMicros:  l.shed.snapshot(),
+		ProxyMicros: l.proxy.snapshot(),
 	}
 }

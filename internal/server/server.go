@@ -65,11 +65,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"arbods"
+	"arbods/internal/cluster"
 	"arbods/internal/faultinject"
 )
 
@@ -105,6 +109,15 @@ type Config struct {
 	// a restarted server answers sha256: references from before the
 	// restart without re-uploading or re-parsing ("" disables).
 	DataDir string
+	// Cluster joins this daemon to a replicated peer set (nil = standalone).
+	// Graph references rendezvous-hash to Cluster.Replicas() owner
+	// daemons: solves for graphs this daemon does not own are proxied to
+	// a healthy owner (tagged servedBy/proxied in the response) and fall
+	// back to a local solve when every owner is down; uploads are
+	// replicated to their owners as ARBCSR01 snapshots; sha256: graphs
+	// missing locally are recovered from any healthy peer. The Server
+	// takes ownership: New starts the health prober, Close stops it.
+	Cluster *cluster.Set
 	// Faults injects deterministic failures for chaos testing: the server
 	// fires "server.build" before a graph build, "server.admit" before
 	// admission, "persist.writeBlob"/"persist.writeIndex" around snapshot
@@ -126,6 +139,7 @@ type Server struct {
 	cache   *graphCache
 	scache  *solveCache
 	persist *persistStore // nil when DataDir is unset
+	cluster *cluster.Set  // nil when standalone
 	gate    *graphGate
 	flight  flightGroup
 	mux     *http.ServeMux
@@ -141,7 +155,14 @@ type Server struct {
 	canceled atomic.Int64 // solves lost to client disconnect (499)
 	panics   atomic.Int64 // solves lost to a recovered proc panic (500)
 	builds   atomic.Int64 // graph builds executed (singleflight leaders)
-	lat      latencySet
+
+	proxied     atomic.Int64 // solves forwarded to an owner daemon
+	fallbacks   atomic.Int64 // non-owned solves served locally (all owners down)
+	snapFetches atomic.Int64 // graphs recovered from a peer's snapshot
+	replPushes  atomic.Int64 // upload snapshots replicated to owners
+	replFails   atomic.Int64 // failed replication pushes
+
+	lat latencySet
 }
 
 // New builds a Server from cfg. The only error source is snapshot
@@ -159,14 +180,16 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxPerGraph = cfg.MaxInflight
 	}
 	s := &Server{
-		cfg:    cfg,
-		pool:   pool,
-		cache:  newGraphCache(cfg.MaxCachedGraphs),
-		scache: newSolveCache(cfg.MaxCachedSolves),
-		gate:   newGraphGate(cfg.MaxPerGraph),
-		mux:    http.NewServeMux(),
-		admit:  make(chan struct{}, cfg.MaxInflight),
+		cfg:     cfg,
+		pool:    pool,
+		cache:   newGraphCache(cfg.MaxCachedGraphs),
+		scache:  newSolveCache(cfg.MaxCachedSolves),
+		cluster: cfg.Cluster,
+		gate:    newGraphGate(cfg.MaxPerGraph),
+		mux:     http.NewServeMux(),
+		admit:   make(chan struct{}, cfg.MaxInflight),
 	}
+	s.cluster.Start()
 	if cfg.DataDir != "" {
 		ps, err := newPersistStore(cfg.DataDir, s.logf, cfg.Faults)
 		if err != nil {
@@ -199,10 +222,13 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close releases the RunnerPool. Call only after the HTTP server has
-// drained (http.Server.Shutdown): Close blocks until every checked-out
-// Runner is back.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the cluster prober and releases the RunnerPool. Call only
+// after the HTTP server has drained (http.Server.Shutdown): Close blocks
+// until every checked-out Runner is back.
+func (s *Server) Close() {
+	s.cluster.Close()
+	s.pool.Close()
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -261,7 +287,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, "read upload: %v", err)
 		return
 	}
-	g, err := arbods.DecodeGraph(bytes.NewReader(raw))
+	// Content negotiation: the default is the arbods text format; the
+	// ARBCSR01 binary codec — the same checksummed encoding the disk
+	// snapshots use — skips the text parse entirely, and is how peers
+	// replicate uploads to each other.
+	var g *arbods.Graph
+	if strings.Contains(r.Header.Get("Content-Type"), binaryContentType) {
+		g, err = arbods.DecodeGraphBinary(bytes.NewReader(raw))
+	} else {
+		g, err = arbods.DecodeGraph(bytes.NewReader(raw))
+	}
 	if err != nil {
 		s.error(w, http.StatusBadRequest, "decode graph: %v", err)
 		return
@@ -276,6 +311,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		// Synchronous by design: once the 200 is on the wire the graph is
 		// durable — a crash right after the response cannot lose it.
 		s.persist.save(resident)
+	}
+	// Replicate fresh direct uploads to the graph's owner daemons, so a
+	// proxied solve lands on a warm cache and the graph outlives this
+	// process. Forwarded pushes stop here — one hop, no echo.
+	if s.cluster != nil && !existed && r.Header.Get(forwardedHeader) == "" {
+		s.replicate(resident)
 	}
 	info := entryInfo(resident)
 	info.New = !existed
@@ -297,6 +338,22 @@ func (s *Server) handleGraphMeta(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.cache.getID(id)
 	if !ok {
 		s.error(w, http.StatusNotFound, "graph %s not cached", id)
+		return
+	}
+	// Accept negotiation: ARBCSR01 serves the graph itself rather than
+	// its metadata — the snapshot-fetch path peers use for failover
+	// rebuilds, and the cheapest way for any client to download a cached
+	// graph byte-exactly. Local cache only, never fetched recursively.
+	if strings.Contains(r.Header.Get("Accept"), binaryContentType) {
+		var buf bytes.Buffer
+		if err := arbods.EncodeGraphBinary(&buf, e.g); err != nil {
+			s.error(w, http.StatusInternalServerError, "encode graph: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", binaryContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, entryInfo(e))
@@ -347,13 +404,49 @@ type Stats struct {
 	MaxInflight     int   `json:"maxInflight"`
 	MaxPerGraph     int   `json:"maxPerGraph"`
 	Draining        bool  `json:"draining,omitempty"`
+	// Cluster reports the replication layer's view — per-peer health and
+	// traffic plus this daemon's proxy/replication counters — and is
+	// absent on a standalone server.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the /v1/stats cluster section.
+type ClusterStats struct {
+	Self     string `json:"self"`
+	Replicas int    `json:"replicas"`
+	// Proxied counts solves this daemon forwarded to an owner;
+	// LocalFallbacks counts non-owned solves served locally because every
+	// owner was down — the failover the receipts then verify.
+	Proxied        int64 `json:"proxied"`
+	LocalFallbacks int64 `json:"localFallbacks"`
+	// SnapshotFetches counts graphs recovered from a peer over the
+	// ARBCSR01 wire; ReplicaPushes/ReplicaPushFailures count upload
+	// replication to owner daemons.
+	SnapshotFetches     int64                `json:"snapshotFetches"`
+	ReplicaPushes       int64                `json:"replicaPushes"`
+	ReplicaPushFailures int64                `json:"replicaPushFailures"`
+	Peers               []cluster.PeerStatus `json:"peers"`
 }
 
 func (s *Server) statsNow() Stats {
 	entries, hits, misses := s.cache.snapshot()
 	shits, smisses := s.scache.counters()
 	loaded, saves, serrs := s.persist.counters()
+	var cs *ClusterStats
+	if s.cluster != nil {
+		cs = &ClusterStats{
+			Self:                s.cluster.Self(),
+			Replicas:            s.cluster.Replicas(),
+			Proxied:             s.proxied.Load(),
+			LocalFallbacks:      s.fallbacks.Load(),
+			SnapshotFetches:     s.snapFetches.Load(),
+			ReplicaPushes:       s.replPushes.Load(),
+			ReplicaPushFailures: s.replFails.Load(),
+			Peers:               s.cluster.Status(),
+		}
+	}
 	return Stats{
+		Cluster:          cs,
 		Graphs:           len(entries),
 		CacheHits:        hits,
 		CacheMisses:      misses,
@@ -420,6 +513,28 @@ func (s *Server) BeginDrain() {
 	if !s.draining.Swap(true) {
 		s.logf("event=drain_begin")
 	}
+}
+
+// retryAfterHint estimates how many seconds a shed or timed-out client
+// should wait before retrying, from live load instead of a constant:
+// (queued solves + 1) × mean solve latency ÷ pool workers, rounded up and
+// clamped to [1, 30]. A cold server with no latency history answers the
+// floor — the old hard-coded "1" — and a deeply backed-up server saturates
+// at 30 rather than telling clients to go away for minutes.
+func (s *Server) retryAfterHint() string {
+	mean := s.lat.solve.mean()
+	if mean <= 0 {
+		return "1"
+	}
+	wait := time.Duration(len(s.admit)+1) * mean / time.Duration(s.pool.Size())
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
 }
 
 // errorBody is the uniform JSON error envelope: a human-readable message

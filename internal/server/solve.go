@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -91,9 +93,16 @@ type SolveResponse struct {
 	CacheHit bool `json:"cacheHit"`
 	// SolveCached reports whether the whole answer came from the solve
 	// cache — no engine run happened for this response.
-	SolveCached bool   `json:"solveCached,omitempty"`
-	Seed        uint64 `json:"seed"`
-	DS          []int  `json:"ds,omitempty"`
+	SolveCached bool `json:"solveCached,omitempty"`
+	// ServedBy is the advertised URL of the daemon that executed (or
+	// cache-served) the solve; empty on a standalone server. Proxied
+	// marks answers that were forwarded to an owner daemon — determinism
+	// makes the distinction invisible in the receipt bytes, which is the
+	// property the cluster's failover tests pin.
+	ServedBy string `json:"servedBy,omitempty"`
+	Proxied  bool   `json:"proxied,omitempty"`
+	Seed     uint64 `json:"seed"`
+	DS       []int  `json:"ds,omitempty"`
 	// Receipt is the verification record recomputed from the graph and
 	// the run; byte-identical across repeats of the same request,
 	// whether the answer was computed or served from the solve cache.
@@ -130,6 +139,12 @@ func (s *Server) resolveGraph(ctx context.Context, ref string) (entryView, bool,
 	case strings.HasPrefix(ref, "sha256:"):
 		e, ok := s.cache.getID(ref)
 		if !ok {
+			// Failover rebuild: an uploaded graph this daemon never saw may
+			// still live on a peer — recover it over the ARBCSR01 wire
+			// (content-hash verified) before giving up.
+			if e, ok = s.fetchPeerSnapshot(ctx, ref); ok {
+				return e, false, 0, nil
+			}
 			return entryView{}, false, http.StatusNotFound,
 				fmt.Errorf("graph %s not cached (upload it first; uploads cannot be rebuilt)", ref)
 		}
@@ -259,7 +274,7 @@ func (s *Server) solveFail(w http.ResponseWriter, stream *streamWriter, rid uint
 			stream.fail(err, "deadline_exceeded")
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.errorCode(w, http.StatusServiceUnavailable, "deadline_exceeded", "solve %s: %v", algo, err)
 	case errors.Is(err, context.Canceled):
 		s.canceled.Add(1)
@@ -318,8 +333,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Read fully before decoding: when the graph hashes to another
+	// daemon, the raw bytes forward verbatim — re-encoding a decoded
+	// request could normalize a field and change the solve.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
 	var req SolveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.error(w, http.StatusBadRequest, "decode request: %v", err)
@@ -329,6 +352,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.error(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+
+	// Cluster routing: a solve for a graph this daemon does not own goes
+	// to a healthy owner, so the owners' caches stay hot and every
+	// replica of a graph answers from warm state. A forwarded request is
+	// always executed locally (one hop, never a loop); when every owner
+	// is down the fall-through below serves locally — the verified
+	// failover path.
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" && !s.cluster.Owns(req.Graph) {
+		if s.proxySolve(w, r, raw, &req, s.cluster.Owners(req.Graph)) {
+			return
+		}
+		s.fallbacks.Add(1)
+		s.logf("event=local_fallback graph=%s", req.Graph)
 	}
 	tBuild := time.Now()
 	e, hit, status, err := s.resolveGraph(ctx, req.Graph)
@@ -351,7 +388,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.solves.Add(1)
 			resp := &SolveResponse{
 				Graph: entryInfo(e), CacheHit: hit, SolveCached: true,
-				Seed: req.Seed, Receipt: a.receipt,
+				ServedBy: s.cluster.Self(),
+				Seed:     req.Seed, Receipt: a.receipt,
 			}
 			if req.IncludeDS {
 				resp.DS = a.ds
@@ -370,7 +408,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.gate.acquire(e.id) {
 		s.shed.Add(1)
 		s.lat.shed.observe(time.Since(t0))
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.errorCode(w, http.StatusTooManyRequests, "hot_graph",
 			"graph %s already has %d solves in flight (per-graph cap)", e.id[:14], s.cfg.MaxPerGraph)
 		return
@@ -394,7 +432,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		s.shed.Add(1)
 		s.lat.shed.observe(time.Since(t0))
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.error(w, http.StatusTooManyRequests, "server at capacity (%d solves in flight or queued)", cap(s.admit))
 		return
 	}
@@ -451,6 +489,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp := &SolveResponse{
 		Graph:    entryInfo(e),
 		CacheHit: hit,
+		ServedBy: s.cluster.Self(),
 		Seed:     req.Seed,
 		Receipt:  receipt,
 	}
